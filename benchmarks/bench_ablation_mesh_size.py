@@ -1,0 +1,68 @@
+"""Ablation: how the constructions scale with the mesh size.
+
+The paper evaluates a single 100x100 mesh; this ablation keeps the fault
+*density* constant (4%) and sweeps the mesh size, recording the number of
+sacrificed non-faulty nodes and the rounds of the centralized and
+distributed minimum-polygon constructions.  Rounds should track component
+sizes (roughly constant at fixed density), not the mesh size, which is the
+scalability argument for the component-based constructions.
+"""
+
+import pytest
+
+from repro.core.faulty_block import build_faulty_blocks
+from repro.core.mfp import build_minimum_polygons
+from repro.distributed.dmfp import build_minimum_polygons_distributed
+from repro.faults.scenario import generate_scenario
+
+from conftest import record_result
+
+WIDTHS = (40, 70, 100, 130)
+DENSITY = 0.04
+
+
+def _sweep_mesh_size():
+    rows = []
+    for width in WIDTHS:
+        num_faults = int(DENSITY * width * width)
+        scenario = generate_scenario(
+            num_faults=num_faults, width=width, model="clustered", seed=3
+        )
+        topology = scenario.topology()
+        fb = build_faulty_blocks(scenario.faults, topology=topology)
+        mfp = build_minimum_polygons(scenario.faults, topology=topology)
+        dmfp = build_minimum_polygons_distributed(scenario.faults, topology=topology)
+        rows.append(
+            (
+                width,
+                num_faults,
+                fb.num_disabled_nonfaulty,
+                mfp.num_disabled_nonfaulty,
+                fb.rounds,
+                mfp.rounds,
+                dmfp.rounds,
+            )
+        )
+    return rows
+
+
+def test_mesh_size_ablation(benchmark):
+    rows = benchmark.pedantic(_sweep_mesh_size, rounds=1, iterations=1)
+    lines = [
+        f"Mesh-size ablation at {DENSITY:.0%} clustered fault density",
+        f"{'width':>6} {'faults':>7} {'FB dis.':>8} {'MFP dis.':>9} "
+        f"{'FB rnd':>7} {'CMFP rnd':>9} {'DMFP rnd':>9}",
+    ]
+    for width, faults, fb_dis, mfp_dis, fb_rounds, cmfp_rounds, dmfp_rounds in rows:
+        lines.append(
+            f"{width:>6} {faults:>7} {fb_dis:>8} {mfp_dis:>9} "
+            f"{fb_rounds:>7} {cmfp_rounds:>9} {dmfp_rounds:>9}"
+        )
+    record_result("ablation_mesh_size", "\n".join(lines))
+
+    for _, _, fb_dis, mfp_dis, _, cmfp_rounds, dmfp_rounds in rows:
+        assert mfp_dis <= fb_dis
+        assert cmfp_rounds <= dmfp_rounds
+    # CMFP rounds stay roughly flat while the mesh grows 3x (they track the
+    # component extent at fixed fault density, not the mesh size).
+    assert rows[-1][5] <= rows[0][5] * 4 + 4

@@ -1,0 +1,23 @@
+"""Legacy setup shim.
+
+The project is configured through ``pyproject.toml``; this file only exists
+so that editable installs keep working on interpreters whose packaging
+toolchain predates PEP 660 (no ``wheel``/``build`` available, e.g. offline
+build environments).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'On Constructing the Minimum Orthogonal Convex "
+        "Polygon in 2-D Faulty Meshes' (Wu & Jiang, IPDPS 2004)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+    entry_points={"console_scripts": ["repro-mesh=repro.cli:main"]},
+)

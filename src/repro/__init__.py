@@ -1,0 +1,153 @@
+"""repro -- Minimum Orthogonal Convex Polygons in 2-D Faulty Meshes.
+
+A faithful, self-contained reproduction of
+
+    Jie Wu and Zhen Jiang,
+    "On Constructing the Minimum Orthogonal Convex Polygon in 2-D Faulty
+    Meshes", Proc. 18th International Parallel and Distributed Processing
+    Symposium (IPDPS), 2004.
+
+The package provides the three fault-region models the paper compares
+(rectangular faulty blocks, sub-minimum faulty polygons, minimum faulty
+polygons), both centralized solutions and the distributed solution for the
+minimum polygons, the fault-injection models and mesh substrate they run
+on, the extended e-cube routing application, and the experiment harness
+that regenerates the paper's Figures 9-11.
+
+Quickstart
+----------
+
+>>> from repro import generate_scenario, build_faulty_blocks, build_minimum_polygons
+>>> scenario = generate_scenario(num_faults=60, width=40, model="clustered", seed=7)
+>>> fb = build_faulty_blocks(scenario.faults, topology=scenario.topology())
+>>> mfp = build_minimum_polygons(scenario.faults, topology=scenario.topology())
+>>> mfp.num_disabled_nonfaulty <= fb.num_disabled_nonfaulty
+True
+"""
+
+from repro.types import (
+    ActivityLabel,
+    Coord,
+    FaultRegionModel,
+    MessageType,
+    NodeKind,
+    Orientation,
+    SafetyLabel,
+    Side,
+)
+from repro.mesh import Mesh2D, StatusGrid, Torus2D
+from repro.geometry import (
+    Rectangle,
+    boundary_ring,
+    bounding_rectangle,
+    concave_column_sections,
+    concave_row_sections,
+    concave_sections,
+    is_orthogonal_convex,
+    orthogonal_convex_hull,
+)
+from repro.faults import (
+    ClusteredFaultModel,
+    FaultScenario,
+    RandomFaultModel,
+    generate_scenario,
+    make_fault_model,
+    sweep_scenarios,
+)
+from repro.core import (
+    FaultComponent,
+    FaultRegion,
+    FaultyBlockConstruction,
+    MinimumPolygonConstruction,
+    SubMinimumConstruction,
+    apply_labelling_scheme_1,
+    apply_labelling_scheme_2,
+    build_faulty_blocks,
+    build_minimum_polygons,
+    build_minimum_polygons_via_labelling,
+    build_sub_minimum_polygons,
+    component_minimum_polygon,
+    extract_regions,
+    find_components,
+)
+from repro.distributed import (
+    DistributedMinimumPolygonConstruction,
+    build_minimum_polygons_distributed,
+    construct_boundary_ring,
+)
+from repro.routing import ExtendedECubeRouter, RoutingSimulator, ecube_path
+from repro.sim import (
+    FigureSeries,
+    compare_constructions,
+    figure9_series,
+    figure10_series,
+    figure11_series,
+    format_series_table,
+    run_sweep,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # types
+    "Coord",
+    "NodeKind",
+    "SafetyLabel",
+    "ActivityLabel",
+    "Side",
+    "Orientation",
+    "MessageType",
+    "FaultRegionModel",
+    # mesh
+    "Mesh2D",
+    "Torus2D",
+    "StatusGrid",
+    # geometry
+    "Rectangle",
+    "bounding_rectangle",
+    "is_orthogonal_convex",
+    "orthogonal_convex_hull",
+    "concave_row_sections",
+    "concave_column_sections",
+    "concave_sections",
+    "boundary_ring",
+    # faults
+    "RandomFaultModel",
+    "ClusteredFaultModel",
+    "make_fault_model",
+    "FaultScenario",
+    "generate_scenario",
+    "sweep_scenarios",
+    # core constructions
+    "apply_labelling_scheme_1",
+    "apply_labelling_scheme_2",
+    "find_components",
+    "FaultComponent",
+    "FaultRegion",
+    "extract_regions",
+    "build_faulty_blocks",
+    "FaultyBlockConstruction",
+    "build_sub_minimum_polygons",
+    "SubMinimumConstruction",
+    "build_minimum_polygons",
+    "build_minimum_polygons_via_labelling",
+    "component_minimum_polygon",
+    "MinimumPolygonConstruction",
+    # distributed
+    "build_minimum_polygons_distributed",
+    "DistributedMinimumPolygonConstruction",
+    "construct_boundary_ring",
+    # routing
+    "ecube_path",
+    "ExtendedECubeRouter",
+    "RoutingSimulator",
+    # simulation harness
+    "compare_constructions",
+    "run_sweep",
+    "FigureSeries",
+    "figure9_series",
+    "figure10_series",
+    "figure11_series",
+    "format_series_table",
+    "__version__",
+]

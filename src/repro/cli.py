@@ -1,0 +1,273 @@
+"""Command-line interface for the reproduction package.
+
+The CLI exposes the main workflows without writing any Python:
+
+``repro-mesh construct``
+    Build FB / FP / MFP / DMFP regions for one generated fault pattern and
+    print their statistics (optionally an ASCII rendering of the grid).
+
+``repro-mesh sweep``
+    Run the Figure 9/10/11 fault-count sweep for one distribution and print
+    the series tables (optionally ASCII charts).
+
+``repro-mesh route``
+    Route random traffic over the regions of each fault model built from
+    the same fault pattern and print delivery/detour statistics.
+
+``repro-mesh verify``
+    Run the construction verification suite on a generated fault pattern.
+
+``repro-mesh experiments``
+    List the paper's figures / ablations and the benchmark targets that
+    regenerate them.
+
+Run ``repro-mesh <command> --help`` for the full option list.  The module is
+also executable directly: ``python -m repro.cli ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.faulty_block import build_faulty_blocks
+from repro.core.mfp import build_minimum_polygons
+from repro.core.sub_minimum import build_sub_minimum_polygons
+from repro.core.verify import (
+    compare_constructions_report,
+    verify_faulty_blocks,
+    verify_minimality,
+    verify_orthogonal_convexity,
+)
+from repro.distributed.dmfp import build_minimum_polygons_distributed
+from repro.faults.scenario import generate_scenario
+from repro.routing.simulator import RoutingSimulator
+from repro.sim.experiments import run_sweep
+from repro.sim.figures import (
+    figure9_series,
+    figure10_series,
+    figure11_series,
+    format_series_table,
+)
+from repro.sim.registry import EXPERIMENTS, get_experiment, render_index
+from repro.sim.render import render_ascii_chart
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--faults", type=int, default=200, help="number of faults")
+    parser.add_argument("--width", type=int, default=50, help="mesh width (square mesh)")
+    parser.add_argument(
+        "--distribution",
+        choices=("random", "clustered"),
+        default="clustered",
+        help="fault distribution model",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--cluster-factor",
+        type=float,
+        default=2.0,
+        help="failure-rate multiplier of the clustered model",
+    )
+    parser.add_argument("--torus", action="store_true", help="use a torus topology")
+
+
+def _scenario_from(args: argparse.Namespace):
+    return generate_scenario(
+        num_faults=args.faults,
+        width=args.width,
+        model=args.distribution,
+        seed=args.seed,
+        torus=args.torus,
+        cluster_factor=args.cluster_factor,
+    )
+
+
+def _build_all(scenario):
+    topology = scenario.topology()
+    return {
+        "FB": build_faulty_blocks(scenario.faults, topology=topology),
+        "FP": build_sub_minimum_polygons(scenario.faults, topology=topology),
+        "MFP": build_minimum_polygons(scenario.faults, topology=topology),
+        "DMFP": build_minimum_polygons_distributed(scenario.faults, topology=topology),
+    }
+
+
+# -- subcommands -------------------------------------------------------------------
+
+
+def cmd_construct(args: argparse.Namespace) -> int:
+    scenario = _scenario_from(args)
+    print(f"scenario: {scenario.describe()}")
+    constructions = _build_all(scenario)
+    print(f"{'model':>5} {'regions':>8} {'disabled non-faulty':>20} {'mean size':>10} {'rounds':>7}")
+    for name, construction in constructions.items():
+        print(
+            f"{name:>5} {len(construction.regions):>8} "
+            f"{construction.grid.num_disabled_nonfaulty:>20} "
+            f"{construction.mean_region_size:>10.2f} {construction.rounds:>7}"
+        )
+    if args.render:
+        chosen = constructions[args.render]
+        print(f"\n{args.render} grid ('#' faulty, 'o' disabled non-faulty):")
+        print(chosen.grid.render())
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    fault_counts = args.fault_counts or [100, 200, 300, 400, 500, 600, 700, 800]
+    points = run_sweep(
+        fault_counts=fault_counts,
+        trials=args.trials,
+        width=args.width,
+        distribution=args.distribution,
+        include_distributed=not args.skip_distributed,
+        include_rounds=True,
+    )
+    figures = [
+        figure9_series(distribution=args.distribution, points=points),
+        figure10_series(distribution=args.distribution, points=points),
+    ]
+    if not args.skip_distributed:
+        figures.append(figure11_series(distribution=args.distribution, points=points))
+    for figure in figures:
+        print(format_series_table(figure))
+        if args.chart:
+            print()
+            print(render_ascii_chart(figure))
+        print()
+    return 0
+
+
+def cmd_route(args: argparse.Namespace) -> int:
+    scenario = _scenario_from(args)
+    topology = scenario.topology()
+    print(f"scenario: {scenario.describe()}")
+    constructions = {
+        "FB": build_faulty_blocks(scenario.faults, topology=topology),
+        "FP": build_sub_minimum_polygons(scenario.faults, topology=topology),
+        "MFP": build_minimum_polygons(scenario.faults, topology=topology),
+    }
+    print(
+        f"{'model':>5} {'enabled':>8} {'delivery':>9} {'mean hops':>10} "
+        f"{'detour':>7} {'abnormal':>9}"
+    )
+    for name, construction in constructions.items():
+        simulator = RoutingSimulator(topology, construction.regions, seed=args.seed)
+        stats = simulator.run(args.messages)
+        print(
+            f"{name:>5} {simulator.num_enabled:>8} {stats.delivery_rate:>9.3f} "
+            f"{stats.mean_hops:>10.2f} {stats.mean_detour:>7.2f} "
+            f"{stats.abnormal_fraction:>9.3f}"
+        )
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    if args.key:
+        print(get_experiment(args.key).describe())
+    else:
+        print(render_index())
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    scenario = _scenario_from(args)
+    print(f"scenario: {scenario.describe()}")
+    constructions = _build_all(scenario)
+    reports = {
+        "FB rectangular blocks": verify_faulty_blocks(constructions["FB"], scenario.faults),
+        "FP orthogonal convexity": verify_orthogonal_convexity(
+            constructions["FP"], scenario.faults
+        ),
+        "MFP minimality": verify_minimality(constructions["MFP"], scenario.faults),
+        "DMFP minimality": verify_minimality(constructions["DMFP"], scenario.faults),
+        "FB/FP/MFP containment": compare_constructions_report(
+            constructions["FB"], constructions["FP"], constructions["MFP"], scenario.faults
+        ),
+    }
+    exit_code = 0
+    for name, report in reports.items():
+        print(f"{name:<28} {report.summary()}")
+        if not report.ok:
+            exit_code = 1
+    return exit_code
+
+
+# -- entry point -------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mesh",
+        description="Minimum orthogonal convex polygons in 2-D faulty meshes "
+        "(Wu & Jiang, IPDPS 2004) -- reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    construct = subparsers.add_parser(
+        "construct", help="build FB/FP/MFP/DMFP regions for one fault pattern"
+    )
+    _add_scenario_arguments(construct)
+    construct.add_argument(
+        "--render",
+        choices=("FB", "FP", "MFP", "DMFP"),
+        help="print an ASCII rendering of the chosen model's grid",
+    )
+    construct.set_defaults(func=cmd_construct)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run the Figure 9/10/11 fault-count sweep"
+    )
+    sweep.add_argument("--width", type=int, default=100)
+    sweep.add_argument(
+        "--distribution", choices=("random", "clustered"), default="random"
+    )
+    sweep.add_argument("--trials", type=int, default=2)
+    sweep.add_argument(
+        "--fault-counts", type=int, nargs="+", dest="fault_counts", default=None
+    )
+    sweep.add_argument("--chart", action="store_true", help="also print ASCII charts")
+    sweep.add_argument(
+        "--skip-distributed",
+        action="store_true",
+        help="skip the DMFP construction (faster; omits Figure 11)",
+    )
+    sweep.set_defaults(func=cmd_sweep)
+
+    route = subparsers.add_parser(
+        "route", help="route random traffic over FB/FP/MFP regions"
+    )
+    _add_scenario_arguments(route)
+    route.add_argument("--messages", type=int, default=500)
+    route.set_defaults(func=cmd_route)
+
+    verify = subparsers.add_parser(
+        "verify", help="run the construction verification suite"
+    )
+    _add_scenario_arguments(verify)
+    verify.set_defaults(func=cmd_verify)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="list the paper's figures and their bench targets"
+    )
+    experiments.add_argument(
+        "key", nargs="?", default=None,
+        help="experiment key (e.g. fig9a); omit to list everything",
+    )
+    experiments.set_defaults(func=cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

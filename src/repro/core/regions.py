@@ -1,0 +1,150 @@
+"""Extraction of disjoint fault regions and per-region statistics.
+
+Every construction (FB, FP, MFP) ends with a set of *disabled* nodes; the
+maximal 4-connected groups of disabled nodes are the disjoint fault regions
+the routing layer must steer around.  The evaluation needs, per region, the
+number of faulty and non-faulty nodes it contains (Figures 9 and 10) and
+its shape properties (rectangularity for FB, orthogonal convexity for FP
+and MFP -- both are asserted by the test suite).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.geometry.orthogonal import is_orthogonal_convex
+from repro.geometry.rectangle import Rectangle, bounding_rectangle
+from repro.types import Coord
+
+
+@dataclass(frozen=True)
+class FaultRegion:
+    """One disjoint fault region produced by a construction."""
+
+    index: int
+    nodes: FrozenSet[Coord]
+    faulty_nodes: FrozenSet[Coord]
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("a fault region cannot be empty")
+        if not self.faulty_nodes <= self.nodes:
+            raise ValueError("faulty nodes must be a subset of the region nodes")
+
+    @property
+    def size(self) -> int:
+        """Total number of nodes (faulty + disabled non-faulty) in the region.
+
+        This is the quantity averaged in the paper's Figure 10.
+        """
+        return len(self.nodes)
+
+    @property
+    def num_faulty(self) -> int:
+        """Number of actually faulty nodes covered by the region."""
+        return len(self.faulty_nodes)
+
+    @property
+    def num_disabled_nonfaulty(self) -> int:
+        """Number of non-faulty nodes the region disables."""
+        return self.size - self.num_faulty
+
+    @property
+    def bounding_box(self) -> Rectangle:
+        """Bounding rectangle of the region."""
+        return bounding_rectangle(self.nodes)
+
+    @property
+    def is_rectangle(self) -> bool:
+        """Whether the region fills its bounding box exactly."""
+        return self.size == self.bounding_box.area
+
+    @property
+    def is_orthogonal_convex(self) -> bool:
+        """Whether the region satisfies the paper's Definition 1."""
+        return is_orthogonal_convex(self.nodes)
+
+    def __contains__(self, node: Coord) -> bool:
+        return node in self.nodes
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self):
+        return iter(sorted(self.nodes))
+
+
+def extract_regions(
+    disabled: Iterable[Coord],
+    faults: Iterable[Coord],
+) -> List[FaultRegion]:
+    """Split the disabled node set into maximal 4-connected fault regions.
+
+    Regions are returned in deterministic order (sorted seed node).  Note
+    that region extraction uses the physical link adjacency (4-neighbours):
+    two regions touching only diagonally are distinct regions, which matches
+    how the routing layer perceives them.
+    """
+    disabled_set: Set[Coord] = set(disabled)
+    fault_set: Set[Coord] = set(faults)
+    unvisited = set(disabled_set)
+    regions: List[FaultRegion] = []
+    for seed in sorted(disabled_set):
+        if seed not in unvisited:
+            continue
+        queue = deque([seed])
+        unvisited.discard(seed)
+        members: Set[Coord] = {seed}
+        while queue:
+            x, y = queue.popleft()
+            for neighbour in ((x - 1, y), (x + 1, y), (x, y - 1), (x, y + 1)):
+                if neighbour in unvisited:
+                    unvisited.discard(neighbour)
+                    members.add(neighbour)
+                    queue.append(neighbour)
+        regions.append(
+            FaultRegion(
+                index=len(regions),
+                nodes=frozenset(members),
+                faulty_nodes=frozenset(members & fault_set),
+            )
+        )
+    return regions
+
+
+def regions_from_masks(disabled: np.ndarray, faulty: np.ndarray) -> List[FaultRegion]:
+    """Convenience wrapper extracting regions from boolean ``[x, y]`` masks."""
+    disabled_nodes = {(int(x), int(y)) for x, y in zip(*np.nonzero(disabled))}
+    fault_nodes = {(int(x), int(y)) for x, y in zip(*np.nonzero(faulty))}
+    return extract_regions(disabled_nodes, fault_nodes)
+
+
+def region_statistics(regions: Sequence[FaultRegion]) -> Dict[str, float]:
+    """Aggregate statistics over a region list.
+
+    ``mean_size`` is the Figure 10 quantity (average number of faulty and
+    non-faulty nodes per region); ``total_disabled_nonfaulty`` is the
+    Figure 9 quantity (non-faulty but disabled nodes in the whole network).
+    """
+    if not regions:
+        return {
+            "count": 0,
+            "mean_size": 0.0,
+            "max_size": 0,
+            "total_disabled_nonfaulty": 0,
+            "total_faulty": 0,
+            "convex_fraction": 1.0,
+        }
+    sizes = [r.size for r in regions]
+    return {
+        "count": len(regions),
+        "mean_size": sum(sizes) / len(sizes),
+        "max_size": max(sizes),
+        "total_disabled_nonfaulty": sum(r.num_disabled_nonfaulty for r in regions),
+        "total_faulty": sum(r.num_faulty for r in regions),
+        "convex_fraction": sum(r.is_orthogonal_convex for r in regions) / len(regions),
+    }

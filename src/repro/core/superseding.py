@@ -1,0 +1,48 @@
+"""The superseding rule for piling per-component construction results.
+
+The centralized minimum-faulty-polygon solution runs independently on every
+faulty component and then "piles" the per-component diagrams on top of each
+other.  When the same node receives different statuses from different
+components, the paper's superseding rule resolves the conflict:
+
+    black nodes overwrite gray and white nodes, and gray nodes overwrite
+    white nodes.
+
+i.e. faulty > disabled (non-faulty inside a polygon) > enabled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+from repro.types import Coord, NodeKind
+
+
+def supersede(current: NodeKind, incoming: NodeKind) -> NodeKind:
+    """Combine two statuses for the same node under the superseding rule."""
+    return current if current >= incoming else incoming
+
+
+def pile_statuses(layers: Iterable[Mapping[Coord, NodeKind]]) -> Dict[Coord, NodeKind]:
+    """Pile several per-component status layers into a single final diagram.
+
+    Each *layer* maps node positions to the status assigned by one
+    component's construction (nodes not mentioned default to white/enabled).
+    The result contains every node mentioned by at least one layer, with
+    conflicts resolved by :func:`supersede`.
+    """
+    final: Dict[Coord, NodeKind] = {}
+    for layer in layers:
+        for node, status in layer.items():
+            previous = final.get(node, NodeKind.ENABLED)
+            final[node] = supersede(previous, status)
+    return final
+
+
+def disabled_nodes(piled: Mapping[Coord, NodeKind]) -> set:
+    """Return every node that is part of a fault region after piling."""
+    return {
+        node
+        for node, status in piled.items()
+        if status in (NodeKind.FAULTY, NodeKind.DISABLED)
+    }

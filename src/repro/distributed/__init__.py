@@ -1,0 +1,58 @@
+"""Distributed formation of fault regions.
+
+The paper's constructions are designed for a system where every processor
+knows only the status of its neighbours and all information spreads through
+rounds of neighbour message exchange.  This subpackage provides:
+
+* :mod:`repro.distributed.engine` -- a synchronous round-based
+  message-passing engine (nodes, inboxes, per-round delivery, quiescence
+  detection and round accounting).
+* :mod:`repro.distributed.labelling_protocol` -- labelling schemes 1 and 2
+  written as per-node programs for the engine; used to validate that the
+  vectorised fixed-point sweeps in :mod:`repro.core.labelling` count exactly
+  the rounds the real protocol needs.
+* :mod:`repro.distributed.ring` -- the boundary-ring construction of the
+  distributed minimum-faulty-polygon solution: initiator election by the
+  overwriting rule, the boundary array ``V[1..n](E, S, W, N)`` piggybacked
+  on the initiation message, and detection of notification end nodes.
+* :mod:`repro.distributed.notification` -- propagation of disable
+  notifications along concave row/column sections, detouring around
+  blocking polygons.
+* :mod:`repro.distributed.dmfp` -- the full distributed construction (DMFP)
+  with its round accounting, as plotted in Figure 11.
+"""
+
+from repro.distributed.engine import NodeProgram, SynchronousEngine, RoundStats
+from repro.distributed.labelling_protocol import (
+    DistributedLabelling,
+    run_distributed_scheme_1,
+    run_distributed_scheme_2,
+)
+from repro.distributed.ring import (
+    BoundaryArray,
+    RingConstruction,
+    construct_boundary_ring,
+    elect_initiator,
+)
+from repro.distributed.notification import NotificationPlan, plan_notifications
+from repro.distributed.dmfp import (
+    DistributedMinimumPolygonConstruction,
+    build_minimum_polygons_distributed,
+)
+
+__all__ = [
+    "NodeProgram",
+    "SynchronousEngine",
+    "RoundStats",
+    "DistributedLabelling",
+    "run_distributed_scheme_1",
+    "run_distributed_scheme_2",
+    "BoundaryArray",
+    "RingConstruction",
+    "construct_boundary_ring",
+    "elect_initiator",
+    "NotificationPlan",
+    "plan_notifications",
+    "DistributedMinimumPolygonConstruction",
+    "build_minimum_polygons_distributed",
+]

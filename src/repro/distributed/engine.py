@@ -1,0 +1,169 @@
+"""A synchronous round-based message-passing engine.
+
+The engine models the paper's system assumption: processors only talk to
+their physical neighbours, and global constructions proceed in *rounds* of
+neighbour information exchanges and updates.  One round consists of
+
+1. delivering every message sent during the previous round, and
+2. letting every node that received something (or that asked to be
+   re-scheduled) process its inbox and emit new messages to neighbours.
+
+The engine stops when no message is in flight and no node asked to run
+again; the number of rounds executed until that point is the quantity
+reported in the paper's Figure 11.
+
+The engine is deliberately small and dependency-free: it is used by the
+distributed labelling protocols (scheme 1 and 2) and by the protocol tests;
+the large evaluation sweeps use the equivalent vectorised sweeps in
+:mod:`repro.core.labelling`, whose round counts are validated against this
+engine on small meshes.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.mesh.topology import Topology
+from repro.types import Coord
+
+
+#: An outgoing message: ``(destination node, payload)``.
+Outgoing = Tuple[Coord, Any]
+
+
+@dataclass
+class Envelope:
+    """A delivered message: who sent it and what it carries."""
+
+    sender: Coord
+    payload: Any
+
+
+@dataclass
+class RoundStats:
+    """Per-run statistics collected by the engine."""
+
+    rounds: int = 0
+    messages: int = 0
+    deliveries_per_round: List[int] = field(default_factory=list)
+
+    def record_round(self, delivered: int) -> None:
+        """Account one executed round that delivered *delivered* messages."""
+        self.rounds += 1
+        self.messages += delivered
+        self.deliveries_per_round.append(delivered)
+
+
+class NodeProgram(abc.ABC):
+    """The behaviour of one node in a distributed construction.
+
+    A program is instantiated once per node.  ``start`` runs before round 1
+    and may emit initial messages (e.g. a faulty node's neighbours noticing
+    the missing heartbeat, modelled as the faulty node announcing itself).
+    ``on_round`` runs whenever the node has incoming messages or previously
+    requested rescheduling via :meth:`request_wakeup`.
+    """
+
+    def __init__(self, node: Coord, topology: Topology) -> None:
+        self.node = node
+        self.topology = topology
+        self._wakeup_requested = False
+
+    # -- scheduling helpers ------------------------------------------------------
+
+    def request_wakeup(self) -> None:
+        """Ask the engine to run this node next round even without messages."""
+        self._wakeup_requested = True
+
+    def consume_wakeup(self) -> bool:
+        """Internal: return and clear the wake-up request flag."""
+        requested = self._wakeup_requested
+        self._wakeup_requested = False
+        return requested
+
+    def neighbours(self) -> List[Coord]:
+        """Physical neighbours of this node."""
+        return self.topology.neighbours(self.node)
+
+    # -- protocol hooks ------------------------------------------------------------
+
+    def start(self) -> List[Outgoing]:
+        """Emit the messages sent before the first round (default: none)."""
+        return []
+
+    @abc.abstractmethod
+    def on_round(self, inbox: List[Envelope]) -> List[Outgoing]:
+        """Process one round's inbox and return the messages to send."""
+
+
+class SynchronousEngine:
+    """Run a :class:`NodeProgram` on every node of a topology."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        program_factory: Callable[[Coord, Topology], NodeProgram],
+    ) -> None:
+        self.topology = topology
+        self.programs: Dict[Coord, NodeProgram] = {
+            node: program_factory(node, topology) for node in topology.nodes()
+        }
+        self.stats = RoundStats()
+
+    def run(self, max_rounds: int = 10_000) -> RoundStats:
+        """Run the protocol to quiescence and return the round statistics."""
+        pending: Dict[Coord, List[Envelope]] = defaultdict(list)
+        for node, program in self.programs.items():
+            for destination, payload in program.start():
+                self._post(pending, node, destination, payload)
+
+        for _ in range(max_rounds):
+            woken = [
+                node
+                for node, program in self.programs.items()
+                if program.consume_wakeup()
+            ]
+            if not pending and not woken:
+                return self.stats
+            inboxes = pending
+            pending = defaultdict(list)
+            delivered = sum(len(v) for v in inboxes.values())
+            active = set(inboxes) | set(woken)
+            for node in sorted(active):
+                outgoing = self.programs[node].on_round(inboxes.get(node, []))
+                for destination, payload in outgoing:
+                    self._post(pending, node, destination, payload)
+            self.stats.record_round(delivered)
+        raise RuntimeError(
+            f"protocol did not quiesce within {max_rounds} rounds"
+        )
+
+    def _post(
+        self,
+        pending: Dict[Coord, List[Envelope]],
+        sender: Coord,
+        destination: Coord,
+        payload: Any,
+    ) -> None:
+        """Queue a message for delivery next round (neighbours only)."""
+        mapped = self.topology.normalise(destination)
+        if mapped is None:
+            return  # messages to positions outside the mesh are dropped
+        if mapped not in self.topology.neighbours(sender) and mapped != sender:
+            raise ValueError(
+                f"node {sender} attempted to send directly to non-neighbour {destination}"
+            )
+        pending[mapped].append(Envelope(sender=sender, payload=payload))
+
+    # -- inspection -----------------------------------------------------------------
+
+    def state_of(self, node: Coord) -> NodeProgram:
+        """Return the program instance (and thus local state) of *node*."""
+        return self.programs[node]
+
+    def collect(self, attribute: str) -> Dict[Coord, Any]:
+        """Collect a named attribute from every node's program."""
+        return {node: getattr(program, attribute) for node, program in self.programs.items()}

@@ -1,0 +1,208 @@
+"""Notification of disable status along concave sections.
+
+After the boundary-ring walk has identified the notification end nodes, each
+end node is in charge of notifying every node of its concave row/column
+section that it must take the *disabled* status.  The notification message
+advances one node per round along the section.  A concave section may be
+partially covered by another faulty component or by that component's
+polygon -- a *blocking polygon* -- in which case the message has to route
+around the blocking polygon (Figure 7 of the paper): the nodes of the
+section that belong to the blocking polygon get their status from that
+polygon's own construction, and the detour costs extra rounds.
+
+The planner below produces, for every concave section of a component, the
+hop-by-hop notification path (including detours) and the resulting round
+count.  Sections are notified concurrently, so the per-component
+notification cost is the maximum path length over its sections.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.components import FaultComponent
+from repro.distributed.ring import RingConstruction
+from repro.geometry.sections import Section, concave_sections
+from repro.types import Coord
+
+
+@dataclass(frozen=True)
+class SectionNotification:
+    """The notification plan for a single concave section."""
+
+    section: Section
+    end_node: Coord
+    path: Tuple[Coord, ...]
+    notified: FrozenSet[Coord]
+    skipped: FrozenSet[Coord]
+    detected_by_ring: bool
+
+    @property
+    def rounds(self) -> int:
+        """Rounds needed to deliver the notification along the whole path."""
+        return len(self.path)
+
+    @property
+    def detoured(self) -> bool:
+        """Whether the message had to route around a blocking polygon."""
+        return len(self.path) > len(self.notified)
+
+
+@dataclass
+class NotificationPlan:
+    """All section notifications of one component."""
+
+    component: FaultComponent
+    notifications: List[SectionNotification]
+
+    @property
+    def rounds(self) -> int:
+        """Per-component notification rounds (sections proceed in parallel)."""
+        if not self.notifications:
+            return 0
+        return max(entry.rounds for entry in self.notifications)
+
+    @property
+    def disabled_nodes(self) -> Set[Coord]:
+        """Every node given the disabled status by this component's plan."""
+        result: Set[Coord] = set()
+        for entry in self.notifications:
+            result.update(entry.notified)
+        return result
+
+    @property
+    def total_messages(self) -> int:
+        """Total message hops spent by all notifications of the component."""
+        return sum(entry.rounds for entry in self.notifications)
+
+
+def _detour_path(
+    start: Coord,
+    goal: Coord,
+    blocked: Set[Coord],
+    limit: int = 100_000,
+) -> List[Coord]:
+    """Shortest 4-neighbour path from *start* to *goal* avoiding *blocked*.
+
+    Used to route a notification message around a blocking polygon.  The
+    search runs on the unbounded grid (the blocking polygon is finite, so a
+    path always exists) and returns the node sequence excluding *start* and
+    including *goal*.
+    """
+    if start == goal:
+        return []
+    frontier = deque([start])
+    came_from: Dict[Coord, Coord] = {start: start}
+    visited = 0
+    while frontier:
+        current = frontier.popleft()
+        visited += 1
+        if visited > limit:  # pragma: no cover - defensive bound
+            raise RuntimeError("detour search exceeded its node budget")
+        x, y = current
+        for neighbour in ((x, y + 1), (x + 1, y), (x, y - 1), (x - 1, y)):
+            if neighbour in came_from or neighbour in blocked:
+                continue
+            came_from[neighbour] = current
+            if neighbour == goal:
+                path = [neighbour]
+                node = current
+                while node != start:
+                    path.append(node)
+                    node = came_from[node]
+                path.reverse()
+                return path
+            frontier.append(neighbour)
+    raise RuntimeError(f"no detour path from {start} to {goal}")  # pragma: no cover
+
+
+def plan_section_notification(
+    section: Section,
+    end_node: Coord,
+    blocking_nodes: Set[Coord],
+    detected_by_ring: bool,
+) -> SectionNotification:
+    """Plan the notification of one concave section.
+
+    The message starts at *end_node* and walks the section from the end
+    nearest to it towards the far end.  ``blocking_nodes`` are the faulty
+    nodes of the blocking polygons (other components overlapping the
+    section): they are physically dead, so they cannot be notified (they are
+    already black) and the message has to detour around them along live
+    nodes.  Non-faulty nodes of a blocking polygon's concave fill are still
+    traversed and coloured -- the paper's "determined multiple times" case
+    of Figure 7.
+    """
+    cells = section.nodes()
+    if not cells:
+        raise ValueError("cannot notify an empty section")
+    # Walk from the end of the section closest to the notification end node.
+    first, last = cells[0], cells[-1]
+    distance_first = abs(first[0] - end_node[0]) + abs(first[1] - end_node[1])
+    distance_last = abs(last[0] - end_node[0]) + abs(last[1] - end_node[1])
+    ordered = cells if distance_first <= distance_last else list(reversed(cells))
+
+    path: List[Coord] = []
+    notified: List[Coord] = []
+    skipped: List[Coord] = []
+    position = end_node
+    for cell in ordered:
+        if cell in blocking_nodes:
+            skipped.append(cell)
+            continue
+        if cell == position:
+            # The end node may itself be the first cell of the section.
+            notified.append(cell)
+            continue
+        x, y = position
+        if cell in ((x, y + 1), (x + 1, y), (x, y - 1), (x - 1, y)):
+            path.append(cell)
+        else:
+            path.extend(_detour_path(position, cell, blocking_nodes))
+        notified.append(cell)
+        position = cell
+
+    return SectionNotification(
+        section=section,
+        end_node=end_node,
+        path=tuple(path),
+        notified=frozenset(notified),
+        skipped=frozenset(skipped),
+        detected_by_ring=detected_by_ring,
+    )
+
+
+def plan_notifications(
+    component: FaultComponent,
+    ring: RingConstruction,
+    blocking_faults: Iterable[Coord] = (),
+) -> NotificationPlan:
+    """Plan every section notification of one component.
+
+    ``blocking_faults`` are the faulty nodes of *other* components; any of
+    them lying on (or near) a concave section of this component belongs to a
+    blocking polygon and forces a detour.
+
+    Every Definition-3 concave section of the component is covered.  When
+    the ring walk produced a notification end node for the section, that
+    node is used; otherwise (the bookkeeping corner cases the paper defers
+    to its skipped optimisation) the member node just past the section end
+    closest to the ring initiator acts as the notifier.
+    """
+    blocking: Set[Coord] = set(blocking_faults) - set(component.nodes)
+
+    notifications: List[SectionNotification] = []
+    for section in concave_sections(component.nodes):
+        detected_end = ring.notification_end_node(section)
+        if detected_end is not None:
+            end_node = detected_end
+            detected = True
+        else:
+            end_node = section.end_nodes()[0]
+            detected = False
+        notifications.append(
+            plan_section_notification(section, end_node, blocking, detected)
+        )
+    return NotificationPlan(component=component, notifications=notifications)

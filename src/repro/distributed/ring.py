@@ -1,0 +1,267 @@
+"""Boundary-ring construction for the distributed MFP solution.
+
+Section 3.2 of the paper constructs, for every faulty component, a ring of
+boundary nodes surrounding the component.  The west-most south-west corner
+(inner or outer) wins the initiator election through the overwriting rule,
+and its initiation message travels clockwise around the ring, one boundary
+node per round.  The message piggybacks the *boundary array*
+``V[1..n](E, S, W, N)``: one entry per row for the most recently visited
+east and west boundary node, and one entry per column for the most recently
+visited north and south boundary node.  While the message travels, a
+boundary node recognises itself as the *notification end node* of a concave
+row or column section by comparing its own position against the opposite
+entry of the boundary array (step 1(b) of the distributed algorithm).
+
+This module simulates the ring construction at the message level: the walk
+order, the evolution of the boundary array, the detected notification end
+nodes, and the number of rounds (one hop of the initiation message per
+round).  The final node statuses themselves are produced by the
+notification phase (:mod:`repro.distributed.notification`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.components import FaultComponent
+from repro.geometry.boundary import boundary_nodes, boundary_ring, hole_rings
+from repro.geometry.sections import Section
+from repro.types import Coord, Side
+
+
+@dataclass
+class BoundaryArray:
+    """The ``V[1..n](E, S, W, N)`` array piggybacked on the initiation message.
+
+    ``east[y]`` / ``west[y]`` store the column of the most recently visited
+    east / west boundary node in row ``y``; ``north[x]`` / ``south[x]`` store
+    the row of the most recently visited north / south boundary node in
+    column ``x``.  Entries start undefined (absent), the paper's "-".
+    """
+
+    east: Dict[int, int] = field(default_factory=dict)
+    west: Dict[int, int] = field(default_factory=dict)
+    north: Dict[int, int] = field(default_factory=dict)
+    south: Dict[int, int] = field(default_factory=dict)
+
+    def update(self, position: Coord, side: Side) -> None:
+        """Record *position* as the most recent boundary node of *side*."""
+        x, y = position
+        if side is Side.EAST:
+            self.east[y] = x
+        elif side is Side.WEST:
+            self.west[y] = x
+        elif side is Side.NORTH:
+            self.north[x] = y
+        elif side is Side.SOUTH:
+            self.south[x] = y
+
+    def defined_entries(self) -> int:
+        """Number of defined entries (used by memory-footprint diagnostics)."""
+        return len(self.east) + len(self.west) + len(self.north) + len(self.south)
+
+
+@dataclass(frozen=True)
+class DetectedSection:
+    """A concave section discovered during the ring walk.
+
+    ``end_node`` is the boundary node that recognised itself as the
+    notification end node; ``section`` is the concave row/column section it
+    is responsible for (in the same representation used by the centralized
+    solution, so the two can be compared directly).
+    """
+
+    end_node: Coord
+    section: Section
+    step: int  # walk step (0-based) at which the detection happened
+
+
+@dataclass
+class RingConstruction:
+    """Outcome of the boundary-ring construction for one component.
+
+    ``walk`` is the outer clockwise ring; ``hole_walks`` contains one inner
+    walk per closed concave region (each started by the hole's own
+    south-west inner corner, as in the paper's Figure 5(c)).  All rings are
+    constructed concurrently by their initiators, so the round count is the
+    length of the longest walk.
+    """
+
+    component: FaultComponent
+    initiator: Coord
+    walk: List[Coord]
+    boundary_array: BoundaryArray
+    detected: List[DetectedSection]
+    candidate_initiators: List[Coord]
+    hole_walks: List[List[Coord]] = field(default_factory=list)
+
+    @property
+    def rounds(self) -> int:
+        """Rounds needed for the initiation messages to circle the component.
+
+        Each message advances one boundary node per round; the outer ring
+        and the inner rings of closed concave regions proceed concurrently.
+        """
+        lengths = [len(self.walk)] + [len(walk) for walk in self.hole_walks]
+        return max(lengths) if lengths else 0
+
+    @property
+    def total_ring_hops(self) -> int:
+        """Total message hops spent by all ring walks of the component."""
+        return len(self.walk) + sum(len(walk) for walk in self.hole_walks)
+
+    def detected_sections(self) -> List[Section]:
+        """Return the concave sections recognised during the walks."""
+        return [d.section for d in self.detected]
+
+    def notification_end_node(self, section: Section) -> Optional[Coord]:
+        """Return the end node detected for *section*, if any."""
+        for entry in self.detected:
+            if entry.section == section:
+                return entry.end_node
+        return None
+
+
+def _southwest_corner_candidates(component: FaultComponent) -> List[Coord]:
+    """Return every south-west (inner or outer) corner of the component.
+
+    * A *south-west outer corner* touches the component only through its
+      north-east diagonal neighbour.
+    * A *south-west inner corner* is simultaneously an east and a north
+      boundary node (it sits in a notch that opens towards the south-west).
+    """
+    nodes = component.nodes
+    sides = boundary_nodes(nodes)
+    candidates: Set[Coord] = set()
+    for position, position_sides in sides.items():
+        if Side.EAST in position_sides and Side.NORTH in position_sides:
+            candidates.add(position)
+    for x, y in nodes:
+        corner = (x - 1, y - 1)
+        if corner in nodes:
+            continue
+        if (x - 1, y) in nodes or (x, y - 1) in nodes:
+            continue
+        if corner not in sides:  # diagonal-only contact: outer corner
+            candidates.add(corner)
+    return sorted(candidates)
+
+
+def elect_initiator(component: FaultComponent) -> Tuple[Coord, List[Coord]]:
+    """Elect the dominating initiator among the south-west corners.
+
+    Every south-west corner may start the ring construction; when a node
+    receives more than one initiation message the overwriting rule keeps the
+    one with the smaller ``x`` (then smaller ``y``) initiator ID, so the
+    west-most south-west corner eventually dominates.  The election is
+    resolved here directly; the full set of candidates is returned so that
+    callers (and tests) can inspect it.
+    """
+    candidates = _southwest_corner_candidates(component)
+    if not candidates:
+        # Degenerate shapes (e.g. a single column) still have the outer
+        # corner south-west of the anchor node.
+        anchor = min(component.nodes)
+        return (anchor[0] - 1, anchor[1] - 1), []
+    winner = min(candidates, key=lambda c: (c[0], c[1]))
+    return winner, candidates
+
+
+def _sides_of(position: Coord, nodes: Set[Coord]) -> List[Side]:
+    """Return the boundary sides *position* holds w.r.t. the component."""
+    x, y = position
+    sides: List[Side] = []
+    if (x - 1, y) in nodes:
+        sides.append(Side.EAST)  # component to the west: position is its east boundary
+    if (x + 1, y) in nodes:
+        sides.append(Side.WEST)
+    if (x, y + 1) in nodes:
+        sides.append(Side.SOUTH)  # component above: position is its south boundary
+    if (x, y - 1) in nodes:
+        sides.append(Side.NORTH)
+    return sides
+
+
+def construct_boundary_ring(component: FaultComponent) -> RingConstruction:
+    """Simulate the boundary-ring construction for one component.
+
+    The initiation message starts at the elected initiator and visits the
+    boundary ring clockwise.  At every east/south/west/north boundary node
+    it updates the boundary array and applies the notification-end-node
+    rules of step 1(b):
+
+    * an **east** boundary node whose row already has a **west** record at a
+      column no smaller than its own marks a concave *row* section;
+    * a **west** boundary node whose row has an **east** record at a column
+      no larger than its own marks a concave *row* section;
+    * a **south** boundary node whose column has a **north** record at a row
+      no larger than its own marks a concave *column* section;
+    * a **north** boundary node whose column has a **south** record at a row
+      no smaller than its own marks a concave *column* section.
+
+    When one row (or column) of a component contains several separate gaps,
+    the single "most recently visited" entry per row can briefly pair an end
+    node with a stale record from a different gap, yielding a candidate
+    range that crosses the component.  The paper resolves this with an
+    optimisation it only sketches ("holding the second most recently visited
+    boundary node information ... details are skipped"); here the same
+    effect is obtained by discarding any candidate range that contains a
+    component node, which keeps exactly the genuine Definition-3 sections.
+    """
+    nodes = set(component.nodes)
+    initiator, candidates = elect_initiator(component)
+    walk = boundary_ring(nodes)
+    if initiator in walk:
+        start = walk.index(initiator)
+        walk = walk[start:] + walk[:start]
+    inner_walks = hole_rings(nodes)
+
+    detected: List[DetectedSection] = []
+    seen_sections: Set[Section] = set()
+    outer_array = BoundaryArray()
+
+    def process(ring_walk: List[Coord], array: BoundaryArray) -> None:
+        for step, position in enumerate(ring_walk):
+            sides = _sides_of(position, nodes)
+            if not sides:
+                continue  # outer corner: part of the ring but updates nothing
+            x, y = position
+            # Step 1(a): update the boundary array for every status held.
+            for side in sides:
+                array.update(position, side)
+            # Step 1(b): notification end node checks.
+            for side in sides:
+                section: Optional[Section] = None
+                if side is Side.EAST and y in array.west and array.west[y] >= x:
+                    section = Section("row", y, x, array.west[y])
+                elif side is Side.WEST and y in array.east and array.east[y] <= x:
+                    section = Section("row", y, array.east[y], x)
+                elif side is Side.SOUTH and x in array.north and array.north[x] <= y:
+                    section = Section("column", x, array.north[x], y)
+                elif side is Side.NORTH and x in array.south and array.south[x] >= y:
+                    section = Section("column", x, y, array.south[x])
+                if section is None or section in seen_sections:
+                    continue
+                if any(node in nodes for node in section.nodes()):
+                    continue  # stale pairing across a second gap in the same line
+                seen_sections.add(section)
+                detected.append(
+                    DetectedSection(end_node=position, section=section, step=step)
+                )
+
+    # Each initiation message carries its own boundary array: one for the
+    # outer ring, one per closed concave region.
+    process(walk, outer_array)
+    for inner in inner_walks:
+        process(inner, BoundaryArray())
+
+    return RingConstruction(
+        component=component,
+        initiator=initiator,
+        walk=walk,
+        boundary_array=outer_array,
+        detected=detected,
+        candidate_initiators=candidates,
+        hole_walks=inner_walks,
+    )

@@ -1,0 +1,42 @@
+"""Fault-injection models.
+
+The paper's evaluation inserts faults sequentially into a 100 x 100 mesh
+under two distributions:
+
+* the **random fault distribution**: every fault position is drawn uniformly
+  among the remaining non-faulty nodes;
+* the **clustered fault distribution**: all nodes start with the same failure
+  rate, and after a fault ``(x, y)`` is inserted, the failure rate of its
+  eight adjacent neighbours is doubled, so faults tend to form clusters.
+
+Both distributions are implemented as deterministic generators driven by a
+``numpy`` random generator, so every experiment is reproducible from a seed.
+"""
+
+from repro.faults.models import (
+    ClusteredFaultModel,
+    FaultModel,
+    RandomFaultModel,
+    make_fault_model,
+)
+from repro.faults.scenario import FaultScenario, generate_scenario, sweep_scenarios
+from repro.faults.links import (
+    LinkFaultSet,
+    isolated_by_link_faults,
+    links_to_node_faults,
+    make_link_fault_set,
+)
+
+__all__ = [
+    "FaultModel",
+    "RandomFaultModel",
+    "ClusteredFaultModel",
+    "make_fault_model",
+    "FaultScenario",
+    "generate_scenario",
+    "sweep_scenarios",
+    "LinkFaultSet",
+    "make_link_fault_set",
+    "links_to_node_faults",
+    "isolated_by_link_faults",
+]

@@ -1,0 +1,193 @@
+"""Axis-aligned integer rectangles.
+
+A rectangular faulty block is represented by its two opposite corners
+``[(min_x, min_y), (max_x, max_y)]`` exactly as in the paper.  The same
+representation is reused for the *virtual faulty block* of a component
+(its bounding box) in the centralized minimum-faulty-polygon construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Set
+
+from repro.types import Coord
+
+
+@dataclass(frozen=True, order=True)
+class Rectangle:
+    """A closed axis-aligned rectangle of grid nodes.
+
+    ``Rectangle(min_x, min_y, max_x, max_y)`` contains every node ``(x, y)``
+    with ``min_x <= x <= max_x`` and ``min_y <= y <= max_y``.  Degenerate
+    rectangles (a single row, column or node) are allowed; an *empty*
+    rectangle is not representable and construction raises ``ValueError``
+    when ``max`` is smaller than ``min`` in either dimension.
+    """
+
+    min_x: int
+    min_y: int
+    max_x: int
+    max_y: int
+
+    def __post_init__(self) -> None:
+        if self.max_x < self.min_x or self.max_y < self.min_y:
+            raise ValueError(
+                f"degenerate rectangle bounds: "
+                f"[{self.min_x},{self.max_x}] x [{self.min_y},{self.max_y}]"
+            )
+
+    # -- size ---------------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Number of columns covered by the rectangle."""
+        return self.max_x - self.min_x + 1
+
+    @property
+    def height(self) -> int:
+        """Number of rows covered by the rectangle."""
+        return self.max_y - self.min_y + 1
+
+    @property
+    def area(self) -> int:
+        """Number of nodes contained in the rectangle."""
+        return self.width * self.height
+
+    @property
+    def corners(self) -> List[Coord]:
+        """The four corners ``(min,min), (min,max), (max,min), (max,max)``."""
+        return [
+            (self.min_x, self.min_y),
+            (self.min_x, self.max_y),
+            (self.max_x, self.min_y),
+            (self.max_x, self.max_y),
+        ]
+
+    # -- membership / relations ---------------------------------------------
+
+    def __contains__(self, node: Coord) -> bool:
+        x, y = node
+        return self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y
+
+    def contains_rect(self, other: "Rectangle") -> bool:
+        """Return ``True`` when *other* lies entirely inside this rectangle."""
+        return (
+            self.min_x <= other.min_x
+            and self.min_y <= other.min_y
+            and other.max_x <= self.max_x
+            and other.max_y <= self.max_y
+        )
+
+    def intersects(self, other: "Rectangle") -> bool:
+        """Return ``True`` when the two rectangles share at least one node."""
+        return not (
+            other.max_x < self.min_x
+            or self.max_x < other.min_x
+            or other.max_y < self.min_y
+            or self.max_y < other.min_y
+        )
+
+    def intersection(self, other: "Rectangle") -> "Rectangle | None":
+        """Return the overlapping rectangle, or ``None`` if disjoint."""
+        if not self.intersects(other):
+            return None
+        return Rectangle(
+            max(self.min_x, other.min_x),
+            max(self.min_y, other.min_y),
+            min(self.max_x, other.max_x),
+            min(self.max_y, other.max_y),
+        )
+
+    def union_bounds(self, other: "Rectangle") -> "Rectangle":
+        """Return the smallest rectangle containing both rectangles."""
+        return Rectangle(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def expanded(self, margin: int = 1) -> "Rectangle":
+        """Return this rectangle grown by *margin* nodes on every side."""
+        return Rectangle(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+
+    def clipped(self, bounds: "Rectangle") -> "Rectangle | None":
+        """Return this rectangle clipped to *bounds* (``None`` if disjoint)."""
+        return self.intersection(bounds)
+
+    def on_perimeter(self, node: Coord) -> bool:
+        """Return ``True`` when *node* lies on the rectangle's outline."""
+        x, y = node
+        if node not in self:
+            return False
+        return (
+            x == self.min_x or x == self.max_x or y == self.min_y or y == self.max_y
+        )
+
+    # -- iteration ------------------------------------------------------------
+
+    def nodes(self) -> Iterator[Coord]:
+        """Yield every node contained in the rectangle (column-major)."""
+        for x in range(self.min_x, self.max_x + 1):
+            for y in range(self.min_y, self.max_y + 1):
+                yield (x, y)
+
+    def node_set(self) -> Set[Coord]:
+        """Return the contained nodes as a set."""
+        return set(self.nodes())
+
+    def rows(self) -> Iterator[int]:
+        """Yield every row index (``y`` value) covered by the rectangle."""
+        return iter(range(self.min_y, self.max_y + 1))
+
+    def columns(self) -> Iterator[int]:
+        """Yield every column index (``x`` value) covered by the rectangle."""
+        return iter(range(self.min_x, self.max_x + 1))
+
+    def __iter__(self) -> Iterator[Coord]:
+        return self.nodes()
+
+    def __len__(self) -> int:
+        return self.area
+
+    # -- presentation ---------------------------------------------------------
+
+    def as_corner_pair(self) -> str:
+        """Render in the paper's ``[(min_x,min_y);(max_x,max_y)]`` notation."""
+        return f"[({self.min_x},{self.min_y});({self.max_x},{self.max_y})]"
+
+    @classmethod
+    def from_nodes(cls, nodes: Iterable[Coord]) -> "Rectangle":
+        """Return the bounding rectangle of a non-empty node collection."""
+        return bounding_rectangle(nodes)
+
+
+def bounding_rectangle(nodes: Iterable[Coord]) -> Rectangle:
+    """Return the smallest :class:`Rectangle` containing every node given.
+
+    Raises ``ValueError`` on an empty collection: an empty fault component
+    has no bounding box and callers are expected to filter these out.
+    """
+    iterator = iter(nodes)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        raise ValueError("bounding_rectangle() of an empty node collection")
+    min_x = max_x = first[0]
+    min_y = max_y = first[1]
+    for x, y in iterator:
+        if x < min_x:
+            min_x = x
+        elif x > max_x:
+            max_x = x
+        if y < min_y:
+            min_y = y
+        elif y > max_y:
+            max_y = y
+    return Rectangle(min_x, min_y, max_x, max_y)

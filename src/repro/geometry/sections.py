@@ -1,0 +1,118 @@
+"""Concave row and column sections (the paper's Definition 3).
+
+    Given a component, for a horizontal (vertical) line where two end nodes
+    on the line are inside the component, each section of the line that is
+    outside the component is called a *concave row (column) section*.
+
+Concave sections are the nodes a minimum faulty polygon must disable: the
+second centralized solution in Section 3.1 of the paper fills them directly,
+and the distributed solution notifies them from *notification end nodes*
+discovered during the boundary-ring walk.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.types import Coord
+
+
+@dataclass(frozen=True, order=True)
+class Section:
+    """A maximal run of non-member nodes between two member nodes on a line.
+
+    ``axis`` is ``"row"`` for a horizontal section (fixed ``y``, varying
+    ``x``) or ``"column"`` for a vertical section (fixed ``x``, varying
+    ``y``).  ``start`` and ``stop`` are the inclusive varying-coordinate
+    bounds of the gap itself (i.e. they index non-member nodes).
+    """
+
+    axis: str
+    fixed: int
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.axis not in ("row", "column"):
+            raise ValueError(f"axis must be 'row' or 'column', got {self.axis!r}")
+        if self.stop < self.start:
+            raise ValueError("section stop precedes start")
+
+    @property
+    def length(self) -> int:
+        """Number of nodes in the section."""
+        return self.stop - self.start + 1
+
+    def nodes(self) -> List[Coord]:
+        """Return the nodes covered by this section, in increasing order."""
+        if self.axis == "row":
+            return [(x, self.fixed) for x in range(self.start, self.stop + 1)]
+        return [(self.fixed, y) for y in range(self.start, self.stop + 1)]
+
+    def end_nodes(self) -> Tuple[Coord, Coord]:
+        """Return the two *member* nodes that delimit the section.
+
+        For a row section these are the component nodes immediately west and
+        east of the gap; for a column section, immediately south and north.
+        They are the nodes the paper's distributed solution uses as the two
+        recorded ends of the concave section.
+        """
+        if self.axis == "row":
+            return (self.start - 1, self.fixed), (self.stop + 1, self.fixed)
+        return (self.fixed, self.start - 1), (self.fixed, self.stop + 1)
+
+    def __contains__(self, node: Coord) -> bool:
+        x, y = node
+        if self.axis == "row":
+            return y == self.fixed and self.start <= x <= self.stop
+        return x == self.fixed and self.start <= y <= self.stop
+
+
+def _gaps(values: Iterable[int]) -> List[Tuple[int, int]]:
+    """Return maximal gaps (inclusive bounds) inside a sorted integer set."""
+    ordered = sorted(set(values))
+    gaps: List[Tuple[int, int]] = []
+    for left, right in zip(ordered, ordered[1:]):
+        if right - left > 1:
+            gaps.append((left + 1, right - 1))
+    return gaps
+
+
+def concave_row_sections(region: Iterable[Coord]) -> List[Section]:
+    """Return every concave row section of *region* (Definition 3)."""
+    rows: Dict[int, List[int]] = defaultdict(list)
+    for x, y in region:
+        rows[y].append(x)
+    sections: List[Section] = []
+    for y in sorted(rows):
+        for start, stop in _gaps(rows[y]):
+            sections.append(Section("row", y, start, stop))
+    return sections
+
+
+def concave_column_sections(region: Iterable[Coord]) -> List[Section]:
+    """Return every concave column section of *region* (Definition 3)."""
+    cols: Dict[int, List[int]] = defaultdict(list)
+    for x, y in region:
+        cols[x].append(y)
+    sections: List[Section] = []
+    for x in sorted(cols):
+        for start, stop in _gaps(cols[x]):
+            sections.append(Section("column", x, start, stop))
+    return sections
+
+
+def concave_sections(region: Iterable[Coord]) -> List[Section]:
+    """Return all concave row and column sections of *region*."""
+    region_set = set(region)
+    return concave_row_sections(region_set) + concave_column_sections(region_set)
+
+
+def section_nodes(sections: Iterable[Section]) -> Set[Coord]:
+    """Return the union of nodes covered by *sections*."""
+    nodes: Set[Coord] = set()
+    for section in sections:
+        nodes.update(section.nodes())
+    return nodes

@@ -1,0 +1,18 @@
+"""2-D mesh / torus topology and node-status substrate.
+
+The constructions in the paper run on a 2-D ``n x n`` mesh (or torus) of
+processors.  This subpackage provides:
+
+* :class:`~repro.mesh.topology.Mesh2D` and
+  :class:`~repro.mesh.topology.Torus2D` -- the interconnect topology with
+  dimension-wise neighbourhoods (used by the labelling schemes), 8-adjacency
+  (used by the component merge process), and the usual graph metrics.
+* :class:`~repro.mesh.status.StatusGrid` -- a numpy-backed container for the
+  per-node labels produced by the constructions (faulty, safe/unsafe,
+  enabled/disabled) with the counting helpers the evaluation needs.
+"""
+
+from repro.mesh.topology import Mesh2D, Torus2D, Topology
+from repro.mesh.status import StatusGrid
+
+__all__ = ["Mesh2D", "Torus2D", "Topology", "StatusGrid"]

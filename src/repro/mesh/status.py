@@ -1,0 +1,196 @@
+"""Per-node status storage for fault-region constructions.
+
+A construction run produces, for every node, a final classification
+(:class:`~repro.types.NodeKind`): faulty (black), disabled non-faulty (gray)
+or enabled non-faulty (white).  Intermediate labels from the two labelling
+schemes (safe/unsafe, enabled/disabled) are also stored so that the
+behaviour of the growing and shrinking phases can be inspected and tested.
+
+The grid is numpy-backed: the evaluation sweeps run thousands of
+constructions on a 100 x 100 mesh, and the counting queries (how many
+non-faulty nodes are disabled, how large is each region, ...) are the hot
+path of the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Set
+
+import numpy as np
+
+from repro.mesh.topology import Topology
+from repro.types import ActivityLabel, Coord, NodeKind, SafetyLabel
+
+
+class StatusGrid:
+    """Node-status arrays for one topology.
+
+    The grid keeps three aligned boolean arrays indexed by ``[x, y]``:
+
+    * ``faulty`` -- the injected fault set (never changed by constructions),
+    * ``unsafe`` -- labelling scheme 1 output (grown fault regions),
+    * ``disabled`` -- labelling scheme 2 / construction output (the nodes a
+      router must treat as part of a fault region).
+
+    The convention throughout the package is that faulty nodes are always
+    unsafe and always disabled.
+    """
+
+    def __init__(self, topology: Topology, faults: Iterable[Coord] = ()) -> None:
+        self.topology = topology
+        shape = (topology.width, topology.height)
+        self.faulty = np.zeros(shape, dtype=bool)
+        self.unsafe = np.zeros(shape, dtype=bool)
+        self.disabled = np.zeros(shape, dtype=bool)
+        for node in faults:
+            self.mark_faulty(node)
+
+    # -- mutation --------------------------------------------------------------
+
+    def mark_faulty(self, node: Coord) -> None:
+        """Inject a fault at *node*; the node becomes unsafe and disabled."""
+        self.topology.validate(node)
+        self.faulty[node] = True
+        self.unsafe[node] = True
+        self.disabled[node] = True
+
+    def mark_unsafe(self, node: Coord) -> None:
+        """Apply the unsafe label (labelling scheme 1) to *node*."""
+        self.topology.validate(node)
+        self.unsafe[node] = True
+
+    def mark_disabled(self, node: Coord) -> None:
+        """Mark *node* as part of a fault region (disabled for routing)."""
+        self.topology.validate(node)
+        self.disabled[node] = True
+
+    def mark_enabled(self, node: Coord) -> None:
+        """Re-enable a non-faulty node (labelling scheme 2 shrinking)."""
+        self.topology.validate(node)
+        if self.faulty[node]:
+            raise ValueError(f"faulty node {node} can never be enabled")
+        self.disabled[node] = False
+
+    def reset_labels(self) -> None:
+        """Clear the unsafe/disabled labels, keeping the fault set."""
+        self.unsafe = self.faulty.copy()
+        self.disabled = self.faulty.copy()
+
+    # -- single-node queries ----------------------------------------------------
+
+    def is_faulty(self, node: Coord) -> bool:
+        """Return ``True`` when *node* is an injected fault."""
+        return bool(self.faulty[node])
+
+    def is_unsafe(self, node: Coord) -> bool:
+        """Return ``True`` when *node* carries the unsafe label."""
+        return bool(self.unsafe[node])
+
+    def is_disabled(self, node: Coord) -> bool:
+        """Return ``True`` when *node* belongs to a fault region."""
+        return bool(self.disabled[node])
+
+    def safety_label(self, node: Coord) -> SafetyLabel:
+        """Return the labelling-scheme-1 label of *node*."""
+        return SafetyLabel.UNSAFE if self.unsafe[node] else SafetyLabel.SAFE
+
+    def activity_label(self, node: Coord) -> ActivityLabel:
+        """Return the labelling-scheme-2 label of *node*."""
+        return ActivityLabel.DISABLED if self.disabled[node] else ActivityLabel.ENABLED
+
+    def kind(self, node: Coord) -> NodeKind:
+        """Return the final colour of *node* (black / gray / white)."""
+        if self.faulty[node]:
+            return NodeKind.FAULTY
+        if self.disabled[node]:
+            return NodeKind.DISABLED
+        return NodeKind.ENABLED
+
+    # -- set queries -------------------------------------------------------------
+
+    def fault_set(self) -> Set[Coord]:
+        """Return the injected fault set."""
+        return {(int(x), int(y)) for x, y in zip(*np.nonzero(self.faulty))}
+
+    def unsafe_set(self) -> Set[Coord]:
+        """Return every node carrying the unsafe label."""
+        return {(int(x), int(y)) for x, y in zip(*np.nonzero(self.unsafe))}
+
+    def disabled_set(self) -> Set[Coord]:
+        """Return every node belonging to a fault region (faulty included)."""
+        return {(int(x), int(y)) for x, y in zip(*np.nonzero(self.disabled))}
+
+    def disabled_nonfaulty_set(self) -> Set[Coord]:
+        """Return the non-faulty nodes sacrificed to the fault regions."""
+        mask = self.disabled & ~self.faulty
+        return {(int(x), int(y)) for x, y in zip(*np.nonzero(mask))}
+
+    # -- counters -----------------------------------------------------------------
+
+    @property
+    def num_faulty(self) -> int:
+        """Number of injected faults."""
+        return int(self.faulty.sum())
+
+    @property
+    def num_unsafe(self) -> int:
+        """Number of unsafe nodes (faulty nodes included)."""
+        return int(self.unsafe.sum())
+
+    @property
+    def num_disabled(self) -> int:
+        """Number of disabled nodes (faulty nodes included)."""
+        return int(self.disabled.sum())
+
+    @property
+    def num_disabled_nonfaulty(self) -> int:
+        """Number of non-faulty nodes disabled by the construction.
+
+        This is the quantity plotted in the paper's Figure 9.
+        """
+        return int((self.disabled & ~self.faulty).sum())
+
+    @property
+    def num_enabled(self) -> int:
+        """Number of nodes still available to the routing layer."""
+        return self.topology.num_nodes - self.num_disabled
+
+    # -- presentation ---------------------------------------------------------------
+
+    def render(self, bounds: "tuple[int, int, int, int] | None" = None) -> str:
+        """Render an ASCII picture of the grid (``#`` faulty, ``o`` disabled).
+
+        ``bounds`` is an optional ``(min_x, min_y, max_x, max_y)`` window;
+        by default the full grid is drawn.  Rows are printed north-to-south
+        so the picture matches the paper's figures.
+        """
+        if bounds is None:
+            min_x, min_y = 0, 0
+            max_x, max_y = self.topology.width - 1, self.topology.height - 1
+        else:
+            min_x, min_y, max_x, max_y = bounds
+        lines: List[str] = []
+        for y in range(max_y, min_y - 1, -1):
+            cells = []
+            for x in range(min_x, max_x + 1):
+                if self.faulty[x, y]:
+                    cells.append("#")
+                elif self.disabled[x, y]:
+                    cells.append("o")
+                elif self.unsafe[x, y]:
+                    cells.append("+")
+                else:
+                    cells.append(".")
+            lines.append(" ".join(cells))
+        return "\n".join(lines)
+
+    def copy(self) -> "StatusGrid":
+        """Return a deep copy of this grid (same topology object)."""
+        clone = StatusGrid(self.topology)
+        clone.faulty = self.faulty.copy()
+        clone.unsafe = self.unsafe.copy()
+        clone.disabled = self.disabled.copy()
+        return clone
+
+    def __iter__(self) -> Iterator[Coord]:
+        return self.topology.nodes()

@@ -1,0 +1,183 @@
+"""2-D mesh and torus topologies.
+
+A node ``u`` has an address ``(u_x, u_y)`` with ``u_x, u_y in
+{0, ..., n-1}`` (the package supports rectangular ``width x height`` meshes;
+the paper uses square ``n x n`` meshes).  Two nodes are connected when their
+addresses differ by exactly one in exactly one dimension; the torus adds the
+wrap-around links.  The interior node degree is 4 and the network diameter of
+an ``n x n`` mesh is ``2(n - 1)``.
+
+The topology objects are deliberately lightweight: they provide coordinate
+validation, neighbourhood enumeration (4-neighbourhood, dimension-wise
+neighbourhoods for the labelling schemes, and 8-adjacency for the component
+merge process) and distance/path helpers used by the routing substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.types import Coord
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Base class for 2-D grid topologies.
+
+    Concrete subclasses (:class:`Mesh2D`, :class:`Torus2D`) define how
+    coordinates outside the ``[0, width) x [0, height)`` address space are
+    treated: the mesh drops them, the torus wraps them.
+    """
+
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ValueError("topology dimensions must be positive")
+
+    # -- basic queries --------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes in the network."""
+        return self.width * self.height
+
+    @property
+    def is_square(self) -> bool:
+        """Whether the topology is the paper's square ``n x n`` shape."""
+        return self.width == self.height
+
+    def contains(self, node: Coord) -> bool:
+        """Return ``True`` when *node* is a valid address in this topology."""
+        x, y = node
+        return 0 <= x < self.width and 0 <= y < self.height
+
+    def __contains__(self, node: Coord) -> bool:
+        return self.contains(node)
+
+    def nodes(self) -> Iterator[Coord]:
+        """Yield every node address, column-major."""
+        for x in range(self.width):
+            for y in range(self.height):
+                yield (x, y)
+
+    def validate(self, node: Coord) -> Coord:
+        """Return *node* unchanged if valid, else raise ``ValueError``."""
+        if not self.contains(node):
+            raise ValueError(f"node {node} outside {self.width}x{self.height} topology")
+        return node
+
+    # -- wrapping (overridden by Torus2D) --------------------------------------
+
+    def normalise(self, node: Coord) -> Coord | None:
+        """Map an unbounded coordinate into the address space.
+
+        The mesh returns ``None`` for out-of-range coordinates; the torus
+        wraps them around.
+        """
+        return node if self.contains(node) else None
+
+    # -- neighbourhoods --------------------------------------------------------
+
+    def neighbours(self, node: Coord) -> List[Coord]:
+        """Return the physical link neighbours of *node* (degree <= 4)."""
+        x, y = node
+        candidates = [(x, y + 1), (x + 1, y), (x, y - 1), (x - 1, y)]
+        result = []
+        for candidate in candidates:
+            mapped = self.normalise(candidate)
+            if mapped is not None:
+                result.append(mapped)
+        return result
+
+    def dimension_neighbours(self, node: Coord) -> Tuple[List[Coord], List[Coord]]:
+        """Return ``(x_dimension_neighbours, y_dimension_neighbours)``.
+
+        Labelling scheme 1 marks a non-faulty node unsafe when it has a
+        faulty-or-unsafe neighbour in *both* dimensions, so the two
+        neighbour groups must be distinguishable.
+        """
+        x, y = node
+        xs = [self.normalise((x - 1, y)), self.normalise((x + 1, y))]
+        ys = [self.normalise((x, y - 1)), self.normalise((x, y + 1))]
+        return [n for n in xs if n is not None], [n for n in ys if n is not None]
+
+    def adjacent_nodes(self, node: Coord) -> List[Coord]:
+        """Return the paper's Definition 2 adjacency (the 8 surrounding nodes)."""
+        x, y = node
+        candidates = [
+            (x - 1, y - 1),
+            (x - 1, y),
+            (x - 1, y + 1),
+            (x, y - 1),
+            (x, y + 1),
+            (x + 1, y - 1),
+            (x + 1, y),
+            (x + 1, y + 1),
+        ]
+        result = []
+        for candidate in candidates:
+            mapped = self.normalise(candidate)
+            if mapped is not None:
+                result.append(mapped)
+        return result
+
+    def degree(self, node: Coord) -> int:
+        """Return the physical degree of *node*."""
+        return len(self.neighbours(node))
+
+    # -- metrics ---------------------------------------------------------------
+
+    def distance(self, a: Coord, b: Coord) -> int:
+        """Return the minimum hop count between two nodes (fault-free)."""
+        raise NotImplementedError
+
+    @property
+    def diameter(self) -> int:
+        """Return the network diameter (fault-free)."""
+        raise NotImplementedError
+
+    def is_boundary(self, node: Coord) -> bool:
+        """Return ``True`` when *node* lies on the physical mesh border.
+
+        A torus has no border; every node reports ``False``.
+        """
+        return False
+
+
+class Mesh2D(Topology):
+    """A 2-D mesh: no wrap-around links, border nodes have reduced degree."""
+
+    def distance(self, a: Coord, b: Coord) -> int:
+        self.validate(a)
+        self.validate(b)
+        return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+    @property
+    def diameter(self) -> int:
+        return (self.width - 1) + (self.height - 1)
+
+    def is_boundary(self, node: Coord) -> bool:
+        x, y = node
+        return x in (0, self.width - 1) or y in (0, self.height - 1)
+
+
+class Torus2D(Topology):
+    """A 2-D torus: the mesh plus wrap-around links in both dimensions."""
+
+    def normalise(self, node: Coord) -> Coord:
+        x, y = node
+        return (x % self.width, y % self.height)
+
+    def distance(self, a: Coord, b: Coord) -> int:
+        self.validate(a)
+        self.validate(b)
+        dx = abs(a[0] - b[0])
+        dy = abs(a[1] - b[1])
+        return min(dx, self.width - dx) + min(dy, self.height - dy)
+
+    @property
+    def diameter(self) -> int:
+        return self.width // 2 + self.height // 2

@@ -1,0 +1,40 @@
+"""Fault-tolerant, deadlock-free routing substrate.
+
+Section 2.2 of the paper motivates the minimum faulty polygon model through
+its application: Chalasani and Boppana's *extended e-cube* routing steers
+messages around orthogonal convex fault regions using four virtual channels.
+This subpackage implements that application so that the impact of the fault
+models (FB / FP / MFP) on routing can be measured:
+
+* :mod:`repro.routing.ecube` -- the base dimension-ordered (x-y) routing;
+* :mod:`repro.routing.extended_ecube` -- routing around fault regions with
+  the EW/WE/NS/SN message classes and the clockwise / counter-clockwise
+  orientation rules;
+* :mod:`repro.routing.channels` -- the four-virtual-channel assignment and a
+  channel-dependency-cycle check (deadlock-freedom evidence);
+* :mod:`repro.routing.simulator` -- a whole-network routing experiment
+  (delivery rate, hop counts, detour overhead) used by the routing ablation
+  benchmark.
+"""
+
+from repro.routing.ecube import ecube_path, ecube_next_hop, initial_message_type
+from repro.routing.extended_ecube import ExtendedECubeRouter, RouteResult
+from repro.routing.channels import (
+    VirtualChannelAssignment,
+    channel_dependency_graph,
+    has_cyclic_dependency,
+)
+from repro.routing.simulator import RoutingSimulator, RoutingStats
+
+__all__ = [
+    "ecube_path",
+    "ecube_next_hop",
+    "initial_message_type",
+    "ExtendedECubeRouter",
+    "RouteResult",
+    "VirtualChannelAssignment",
+    "channel_dependency_graph",
+    "has_cyclic_dependency",
+    "RoutingSimulator",
+    "RoutingStats",
+]

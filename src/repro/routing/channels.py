@@ -1,0 +1,126 @@
+"""Virtual-channel assignment and deadlock-freedom evidence.
+
+To guarantee freedom from deadlock, the extended e-cube routing assigns four
+virtual channels ``vc0 .. vc3`` to the hops performed *around* fault
+regions: EW-bound messages use ``vc0``, WE-bound messages ``vc1``, NS-bound
+messages ``vc2`` and SN-bound messages ``vc3``.  Hops performed by the base
+e-cube routing use the ordinary dimension-ordered channel (modelled here as
+a separate "base" channel per link direction), which is deadlock-free on its
+own.
+
+This module turns a set of routed paths into a channel-dependency graph and
+checks it for cycles; an acyclic graph is the standard evidence that the
+configuration cannot deadlock.  It is used by the routing tests and the
+routing ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.routing.ecube import initial_message_type
+from repro.routing.extended_ecube import RouteResult
+from repro.types import Coord, MessageType
+
+#: Virtual channel index used for abnormal (around-the-region) hops.
+ABNORMAL_CHANNEL: Dict[MessageType, int] = {
+    MessageType.EW: 0,
+    MessageType.WE: 1,
+    MessageType.NS: 2,
+    MessageType.SN: 3,
+}
+
+#: Channel identifier: (from-node, to-node, virtual channel index).
+Channel = Tuple[Coord, Coord, int]
+
+#: Index used for base e-cube hops (outside any region traversal).
+BASE_CHANNEL = 4
+
+
+@dataclass(frozen=True)
+class VirtualChannelAssignment:
+    """The channel sequence used by one routed message."""
+
+    result: RouteResult
+    channels: Tuple[Channel, ...]
+
+    @property
+    def uses_abnormal_channels(self) -> bool:
+        """Whether the message needed any around-the-region channel."""
+        return any(channel[2] != BASE_CHANNEL for channel in self.channels)
+
+
+def assign_channels(result: RouteResult) -> VirtualChannelAssignment:
+    """Assign a virtual channel to every hop of a routed message.
+
+    The message class (and therefore the abnormal channel) is re-evaluated
+    at every hop exactly as the router does: EW/WE while row hops remain,
+    NS/SN afterwards.  A hop that does not follow the base e-cube next hop
+    is an abnormal hop and uses the class channel; base hops use the shared
+    dimension-ordered channel.
+    """
+    channels: List[Channel] = []
+    path = result.path
+    for current, nxt in zip(path, path[1:]):
+        message_type = initial_message_type(current, result.destination)
+        expected_dx = (
+            1 if result.destination[0] > current[0] else -1 if result.destination[0] < current[0] else 0
+        )
+        expected_dy = (
+            1 if result.destination[1] > current[1] else -1 if result.destination[1] < current[1] else 0
+        )
+        dx, dy = nxt[0] - current[0], nxt[1] - current[1]
+        is_base_hop = (expected_dx != 0 and (dx, dy) == (expected_dx, 0)) or (
+            expected_dx == 0 and (dx, dy) == (0, expected_dy)
+        )
+        if is_base_hop:
+            channels.append((current, nxt, BASE_CHANNEL))
+        else:
+            channels.append((current, nxt, ABNORMAL_CHANNEL[message_type]))
+    return VirtualChannelAssignment(result=result, channels=tuple(channels))
+
+
+def channel_dependency_graph(
+    assignments: Iterable[VirtualChannelAssignment],
+) -> Dict[Channel, Set[Channel]]:
+    """Build the channel-dependency graph of a set of routed messages.
+
+    There is an edge from channel ``a`` to channel ``b`` when some message
+    holds ``a`` while requesting ``b`` (i.e. uses them on consecutive hops).
+    """
+    graph: Dict[Channel, Set[Channel]] = defaultdict(set)
+    for assignment in assignments:
+        for held, requested in zip(assignment.channels, assignment.channels[1:]):
+            graph[held].add(requested)
+        for channel in assignment.channels:
+            graph.setdefault(channel, set())
+    return dict(graph)
+
+
+def has_cyclic_dependency(graph: Dict[Channel, Set[Channel]]) -> bool:
+    """Return ``True`` when the channel-dependency graph contains a cycle."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    colour: Dict[Channel, int] = {node: WHITE for node in graph}
+    for start in graph:
+        if colour[start] != WHITE:
+            continue
+        stack: List[Tuple[Channel, Iterable[Channel]]] = [(start, iter(graph[start]))]
+        colour[start] = GRAY
+        while stack:
+            node, iterator = stack[-1]
+            advanced = False
+            for successor in iterator:
+                state = colour.get(successor, WHITE)
+                if state == GRAY:
+                    return True
+                if state == WHITE:
+                    colour[successor] = GRAY
+                    stack.append((successor, iter(graph.get(successor, set()))))
+                    advanced = True
+                    break
+            if not advanced:
+                colour[node] = BLACK
+                stack.pop()
+    return False

@@ -1,0 +1,70 @@
+"""Base e-cube (dimension-ordered x-y) routing.
+
+The e-cube routing sends a message along its row (the X dimension) until it
+reaches the destination column, then along the column (the Y dimension).  In
+a fault-free mesh this is minimal and deadlock-free; the extended e-cube
+routing of :mod:`repro.routing.extended_ecube` falls back to it between
+fault-region traversals.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.types import Coord, MessageType
+
+
+def initial_message_type(source: Coord, destination: Coord) -> MessageType:
+    """Classify a message by its initial direction of travel.
+
+    A message with row hops to perform is WE- or EW-bound; a message that
+    starts in its destination column is immediately SN- or NS-bound.  A
+    message to self is classified as WE by convention (it performs no hops).
+    """
+    if destination[0] > source[0]:
+        return MessageType.WE
+    if destination[0] < source[0]:
+        return MessageType.EW
+    if destination[1] > source[1]:
+        return MessageType.SN
+    return MessageType.NS
+
+
+def column_message_type(source: Coord, destination: Coord) -> MessageType:
+    """Classify the column phase of a message (SN or NS)."""
+    return MessageType.SN if destination[1] >= source[1] else MessageType.NS
+
+
+def ecube_next_hop(current: Coord, destination: Coord) -> Optional[Coord]:
+    """Return the next hop of the base e-cube routing (``None`` on arrival)."""
+    x, y = current
+    dx, dy = destination
+    if x < dx:
+        return (x + 1, y)
+    if x > dx:
+        return (x - 1, y)
+    if y < dy:
+        return (x, y + 1)
+    if y > dy:
+        return (x, y - 1)
+    return None
+
+
+def ecube_path(source: Coord, destination: Coord) -> List[Coord]:
+    """Return the full e-cube path from *source* to *destination*.
+
+    The path includes both endpoints; its length is ``manhattan + 1``.
+    """
+    path = [source]
+    current = source
+    while current != destination:
+        nxt = ecube_next_hop(current, destination)
+        assert nxt is not None
+        path.append(nxt)
+        current = nxt
+    return path
+
+
+def manhattan_distance(a: Coord, b: Coord) -> int:
+    """Return the minimal hop count between two mesh nodes."""
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])

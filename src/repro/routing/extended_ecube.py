@@ -1,0 +1,253 @@
+"""Extended e-cube routing around orthogonal convex fault regions.
+
+The router follows the base e-cube routing while the path ahead is clear.
+When the next hop falls inside a fault region the message enters *abnormal*
+mode and travels along the region's boundary ring, clockwise or
+counter-clockwise according to the rules of Section 2.2:
+
+* NS- and SN-bound messages: the orientation is a don't care (clockwise is
+  used here);
+* WE-bound messages: clockwise when the message is in a row above its row
+  of travel (the destination row), counter-clockwise when below, don't care
+  when level;
+* EW-bound messages: the mirror image.
+
+The message leaves abnormal mode -- "the region no longer has an effect" --
+once it has passed the region along its direction of travel (or reached its
+destination column during a row traversal) and the base e-cube next hop is
+clear again.
+
+The router requires the regions it is given to be orthogonal convex (that
+is the whole point of the fault models in this package); it reports a
+failed delivery instead of looping forever when a traversal is obstructed
+by another overlapping region or leaves the mesh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.regions import FaultRegion
+from repro.geometry.boundary import boundary_ring
+from repro.geometry.rectangle import Rectangle, bounding_rectangle
+from repro.mesh.topology import Mesh2D, Topology
+from repro.routing.ecube import (
+    column_message_type,
+    ecube_next_hop,
+    initial_message_type,
+    manhattan_distance,
+)
+from repro.types import Coord, MessageType, Orientation
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """Outcome of routing one message."""
+
+    source: Coord
+    destination: Coord
+    delivered: bool
+    path: Tuple[Coord, ...]
+    abnormal_hops: int
+    reason: str = ""
+
+    @property
+    def hops(self) -> int:
+        """Number of link traversals performed."""
+        return max(0, len(self.path) - 1)
+
+    @property
+    def detour(self) -> int:
+        """Extra hops compared to the fault-free minimal path."""
+        return self.hops - manhattan_distance(self.source, self.destination)
+
+    @property
+    def is_minimal(self) -> bool:
+        """Whether the delivered path is a minimal (shortest) path."""
+        return self.delivered and self.detour == 0
+
+
+class ExtendedECubeRouter:
+    """Route messages around a fixed set of fault regions."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        regions: Sequence[FaultRegion] | Iterable[Iterable[Coord]],
+        max_hops: Optional[int] = None,
+    ) -> None:
+        self.topology = topology
+        self._regions: List[FrozenSet[Coord]] = []
+        for region in regions:
+            if isinstance(region, FaultRegion):
+                self._regions.append(frozenset(region.nodes))
+            else:
+                self._regions.append(frozenset(region))
+        self.disabled: Set[Coord] = set()
+        self._region_of: Dict[Coord, int] = {}
+        for index, nodes in enumerate(self._regions):
+            for node in nodes:
+                self.disabled.add(node)
+                self._region_of[node] = index
+        self._rings: Dict[int, List[Coord]] = {}
+        self._boxes: Dict[int, Rectangle] = {}
+        self.max_hops = max_hops if max_hops is not None else 8 * (
+            topology.width + topology.height
+        )
+
+    # -- helpers -----------------------------------------------------------------
+
+    def is_disabled(self, node: Coord) -> bool:
+        """Whether *node* belongs to any fault region."""
+        return node in self.disabled
+
+    def _ring(self, region_index: int) -> List[Coord]:
+        if region_index not in self._rings:
+            self._rings[region_index] = boundary_ring(self._regions[region_index])
+        return self._rings[region_index]
+
+    def _box(self, region_index: int) -> Rectangle:
+        if region_index not in self._boxes:
+            self._boxes[region_index] = bounding_rectangle(self._regions[region_index])
+        return self._boxes[region_index]
+
+    @staticmethod
+    def _orientation(message_type: MessageType, current: Coord, destination: Coord) -> Orientation:
+        """Apply the orientation rules of Section 2.2."""
+        if message_type in (MessageType.NS, MessageType.SN):
+            return Orientation.CLOCKWISE
+        above = current[1] > destination[1]
+        below = current[1] < destination[1]
+        if message_type is MessageType.WE:
+            if above:
+                return Orientation.CLOCKWISE
+            if below:
+                return Orientation.COUNTERCLOCKWISE
+            return Orientation.CLOCKWISE
+        # EW-bound: mirror image.
+        if above:
+            return Orientation.COUNTERCLOCKWISE
+        if below:
+            return Orientation.CLOCKWISE
+        return Orientation.COUNTERCLOCKWISE
+
+    def _passed_region(
+        self,
+        message_type: MessageType,
+        node: Coord,
+        destination: Coord,
+        box: Rectangle,
+    ) -> bool:
+        """Whether the region no longer affects a message at *node*."""
+        x, y = node
+        if message_type is MessageType.WE:
+            return x > box.max_x or x == destination[0]
+        if message_type is MessageType.EW:
+            return x < box.min_x or x == destination[0]
+        if message_type is MessageType.SN:
+            return y > box.max_y or y == destination[1]
+        return y < box.min_y or y == destination[1]
+
+    def _traverse(
+        self,
+        ring: List[Coord],
+        entry: Coord,
+        step: int,
+        message_type: MessageType,
+        destination: Coord,
+        box: Rectangle,
+    ) -> Tuple[Optional[List[Coord]], str]:
+        """Walk *ring* from *entry* in direction *step* until the region is cleared.
+
+        Returns ``(hops, reason)``: the hop list when the traversal succeeds,
+        or ``None`` plus a failure reason when it walks off the mesh, into
+        another region, or all the way around without clearing the region.
+        """
+        index = ring.index(entry)
+        hops: List[Coord] = []
+        for _ in range(len(ring)):
+            index = (index + step) % len(ring)
+            node = ring[index]
+            if not self.topology.contains(node):
+                return None, "traversal left the mesh"
+            if self.is_disabled(node):
+                return None, "traversal obstructed by another region"
+            hops.append(node)
+            if self._passed_region(message_type, node, destination, box):
+                follow_up = ecube_next_hop(node, destination)
+                if follow_up is None or not self.is_disabled(follow_up):
+                    return hops, ""
+        return None, "could not clear the fault region"
+
+    # -- routing ------------------------------------------------------------------
+
+    def route(self, source: Coord, destination: Coord) -> RouteResult:
+        """Route one message and return the full hop-by-hop result."""
+        self.topology.validate(source)
+        self.topology.validate(destination)
+        if self.is_disabled(source):
+            return RouteResult(source, destination, False, (source,), 0, "source disabled")
+        if self.is_disabled(destination):
+            return RouteResult(
+                source, destination, False, (source,), 0, "destination disabled"
+            )
+
+        path: List[Coord] = [source]
+        current = source
+        abnormal_hops = 0
+
+        while current != destination and len(path) <= self.max_hops:
+            message_type = (
+                initial_message_type(current, destination)
+                if current[0] != destination[0]
+                else column_message_type(current, destination)
+            )
+            nxt = ecube_next_hop(current, destination)
+            assert nxt is not None
+            if not self.is_disabled(nxt):
+                path.append(nxt)
+                current = nxt
+                continue
+
+            # Abnormal mode: traverse the ring of the blocking region.
+            region_index = self._region_of[nxt]
+            box = self._box(region_index)
+            ring = self._ring(region_index)
+            if current not in ring:
+                return RouteResult(
+                    source,
+                    destination,
+                    False,
+                    tuple(path),
+                    abnormal_hops,
+                    "traversal entry point not on the region boundary",
+                )
+            orientation = self._orientation(message_type, current, destination)
+            preferred = 1 if orientation is Orientation.CLOCKWISE else -1
+            # A region touching the mesh border can only be circled on one
+            # side; when the preferred orientation walks off the mesh (or
+            # into another region), retry the opposite orientation, as a
+            # real router on a border node would.
+            detour, reason = None, "could not clear the fault region"
+            for step in (preferred, -preferred):
+                detour, reason = self._traverse(
+                    ring, current, step, message_type, destination, box
+                )
+                if detour is not None:
+                    break
+            if detour is None:
+                return RouteResult(
+                    source, destination, False, tuple(path), abnormal_hops, reason
+                )
+            path.extend(detour)
+            abnormal_hops += len(detour)
+            current = path[-1]
+            if len(path) > self.max_hops:
+                break
+
+        if current == destination:
+            return RouteResult(source, destination, True, tuple(path), abnormal_hops)
+        return RouteResult(
+            source, destination, False, tuple(path), abnormal_hops, "hop budget exhausted"
+        )

@@ -1,0 +1,130 @@
+"""Whole-network routing experiments.
+
+The simulator routes a batch of random messages through a mesh whose fault
+regions come from one of the fault-region constructions, and summarises how
+the construction choice affects the routing layer: how many node pairs are
+still routable, how long the paths get, and how often messages have to
+travel around a region.  The routing ablation benchmark uses it to compare
+FB, FP and MFP regions built from the same fault pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.regions import FaultRegion
+from repro.mesh.topology import Mesh2D, Topology
+from repro.routing.channels import (
+    assign_channels,
+    channel_dependency_graph,
+    has_cyclic_dependency,
+)
+from repro.routing.ecube import manhattan_distance
+from repro.routing.extended_ecube import ExtendedECubeRouter, RouteResult
+from repro.types import Coord
+
+
+@dataclass
+class RoutingStats:
+    """Aggregate statistics of one routing experiment."""
+
+    attempted: int = 0
+    delivered: int = 0
+    failed: int = 0
+    total_hops: int = 0
+    total_detour: int = 0
+    minimal_routes: int = 0
+    abnormal_routes: int = 0
+    results: List[RouteResult] = field(default_factory=list)
+
+    @property
+    def delivery_rate(self) -> float:
+        """Fraction of attempted messages that reached their destination."""
+        return self.delivered / self.attempted if self.attempted else 1.0
+
+    @property
+    def mean_hops(self) -> float:
+        """Average number of hops over delivered messages."""
+        return self.total_hops / self.delivered if self.delivered else 0.0
+
+    @property
+    def mean_detour(self) -> float:
+        """Average extra hops (over the fault-free minimum) of delivered messages."""
+        return self.total_detour / self.delivered if self.delivered else 0.0
+
+    @property
+    def minimal_fraction(self) -> float:
+        """Fraction of delivered messages that used a minimal path."""
+        return self.minimal_routes / self.delivered if self.delivered else 1.0
+
+    @property
+    def abnormal_fraction(self) -> float:
+        """Fraction of delivered messages that had to route around a region."""
+        return self.abnormal_routes / self.delivered if self.delivered else 0.0
+
+    def record(self, result: RouteResult) -> None:
+        """Fold one route result into the aggregate."""
+        self.attempted += 1
+        self.results.append(result)
+        if not result.delivered:
+            self.failed += 1
+            return
+        self.delivered += 1
+        self.total_hops += result.hops
+        self.total_detour += result.detour
+        if result.is_minimal:
+            self.minimal_routes += 1
+        if result.abnormal_hops:
+            self.abnormal_routes += 1
+
+
+class RoutingSimulator:
+    """Route random messages through a mesh with fault regions."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        regions: Sequence[FaultRegion] | Iterable[Iterable[Coord]],
+        seed: int = 0,
+    ) -> None:
+        self.topology = topology
+        self.router = ExtendedECubeRouter(topology, regions)
+        self.rng = np.random.default_rng(seed)
+        self._enabled = [
+            node for node in topology.nodes() if not self.router.is_disabled(node)
+        ]
+
+    @property
+    def num_enabled(self) -> int:
+        """Number of nodes still available as message endpoints."""
+        return len(self._enabled)
+
+    def random_pairs(self, count: int) -> List[Tuple[Coord, Coord]]:
+        """Draw random (source, destination) pairs among enabled nodes."""
+        if len(self._enabled) < 2:
+            return []
+        pairs: List[Tuple[Coord, Coord]] = []
+        indices = self.rng.integers(0, len(self._enabled), size=(count, 2))
+        for a, b in indices:
+            if a == b:
+                b = (b + 1) % len(self._enabled)
+            pairs.append((self._enabled[int(a)], self._enabled[int(b)]))
+        return pairs
+
+    def run(self, num_messages: int = 1000) -> RoutingStats:
+        """Route *num_messages* random messages and return the statistics."""
+        stats = RoutingStats()
+        for source, destination in self.random_pairs(num_messages):
+            stats.record(self.router.route(source, destination))
+        return stats
+
+    def deadlock_free(self, stats: RoutingStats) -> bool:
+        """Check the channel-dependency graph of delivered routes for cycles."""
+        assignments = [
+            assign_channels(result) for result in stats.results if result.delivered
+        ]
+        graph = channel_dependency_graph(assignments)
+        return not has_cyclic_dependency(graph)

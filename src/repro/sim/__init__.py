@@ -1,0 +1,48 @@
+"""Experiment harness reproducing the paper's evaluation (Section 4).
+
+* :mod:`repro.sim.metrics` -- per-scenario metric records comparing the
+  FB / FP / MFP constructions.
+* :mod:`repro.sim.experiments` -- runs all constructions on one scenario or
+  on a fault-count sweep.
+* :mod:`repro.sim.figures` -- regenerates the data series behind Figures 9,
+  10 and 11 (both fault-distribution panels each) and renders them as text
+  tables.
+"""
+
+from repro.sim.metrics import ConstructionMetrics, ScenarioMetrics, SweepPoint
+from repro.sim.experiments import compare_constructions, run_sweep
+from repro.sim.figures import (
+    FigureSeries,
+    figure9_series,
+    figure10_series,
+    figure11_series,
+    format_series_table,
+)
+from repro.sim.render import render_ascii_chart, render_comparison_summary
+from repro.sim.registry import (
+    EXPERIMENTS,
+    Experiment,
+    extension_experiments,
+    get_experiment,
+    paper_experiments,
+)
+
+__all__ = [
+    "ConstructionMetrics",
+    "ScenarioMetrics",
+    "SweepPoint",
+    "compare_constructions",
+    "run_sweep",
+    "FigureSeries",
+    "figure9_series",
+    "figure10_series",
+    "figure11_series",
+    "format_series_table",
+    "render_ascii_chart",
+    "render_comparison_summary",
+    "EXPERIMENTS",
+    "Experiment",
+    "get_experiment",
+    "paper_experiments",
+    "extension_experiments",
+]

@@ -1,0 +1,175 @@
+"""Regeneration of the paper's evaluation figures as data series.
+
+The paper's Figures 9-11 each have two panels (random / clustered fault
+distribution) and plot one curve per fault model against the number of
+injected faults.  The functions here produce those curves as plain data
+(:class:`FigureSeries`), so the benchmark harness can print the same
+rows/series the paper reports and EXPERIMENTS.md can record
+paper-vs-measured values without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.sim.experiments import run_sweep
+from repro.sim.metrics import SweepPoint
+
+#: Fault counts used by the paper's sweep (0 is omitted: it is trivially 0).
+DEFAULT_FAULT_COUNTS: Sequence[int] = (100, 200, 300, 400, 500, 600, 700, 800)
+
+
+@dataclass
+class FigureSeries:
+    """One figure panel: x values plus one named series per fault model."""
+
+    figure: str
+    distribution: str
+    x_label: str
+    y_label: str
+    x_values: List[int]
+    series: Dict[str, List[float]] = field(default_factory=dict)
+
+    def value(self, model: str, num_faults: int) -> float:
+        """Return the y value of *model* at *num_faults*."""
+        index = self.x_values.index(num_faults)
+        return self.series[model][index]
+
+    def as_rows(self) -> List[List[str]]:
+        """Render the panel as table rows (header row first)."""
+        header = ["faults"] + list(self.series)
+        rows = [header]
+        for index, x in enumerate(self.x_values):
+            row = [str(x)]
+            for model in self.series:
+                row.append(f"{self.series[model][index]:.2f}")
+            rows.append(row)
+        return rows
+
+
+def _sweep(
+    fault_counts: Sequence[int],
+    trials: int,
+    width: int,
+    distribution: str,
+    base_seed: int,
+    include_distributed: bool,
+    include_rounds: bool,
+) -> List[SweepPoint]:
+    return run_sweep(
+        fault_counts=fault_counts,
+        trials=trials,
+        width=width,
+        distribution=distribution,
+        base_seed=base_seed,
+        include_distributed=include_distributed,
+        include_rounds=include_rounds,
+    )
+
+
+def figure9_series(
+    distribution: str = "random",
+    fault_counts: Sequence[int] = DEFAULT_FAULT_COUNTS,
+    trials: int = 3,
+    width: int = 100,
+    base_seed: int = 0,
+    log10: bool = True,
+    points: Optional[List[SweepPoint]] = None,
+) -> FigureSeries:
+    """Figure 9: non-faulty but disabled nodes in the whole network.
+
+    The paper plots the value on a log10 axis; set ``log10=False`` for the
+    raw node counts.  Pass precomputed ``points`` to reuse one sweep for
+    several figures.
+    """
+    if points is None:
+        points = _sweep(
+            fault_counts, trials, width, distribution, base_seed,
+            include_distributed=False, include_rounds=False,
+        )
+    figure = FigureSeries(
+        figure="9a" if distribution == "random" else "9b",
+        distribution=distribution,
+        x_label="Number of faulty nodes",
+        y_label="# of disabled nodes (log10)" if log10 else "# of disabled nodes",
+        x_values=[p.num_faults for p in points],
+    )
+    for model in ("FB", "FP", "MFP"):
+        values = []
+        for point in points:
+            value = point.mean_disabled_nonfaulty(model)
+            if log10:
+                value = math.log10(value) if value > 0 else -1.0
+            values.append(value)
+        figure.series[model] = values
+    return figure
+
+
+def figure10_series(
+    distribution: str = "random",
+    fault_counts: Sequence[int] = DEFAULT_FAULT_COUNTS,
+    trials: int = 3,
+    width: int = 100,
+    base_seed: int = 0,
+    points: Optional[List[SweepPoint]] = None,
+) -> FigureSeries:
+    """Figure 10: average size of a fault region (faulty + non-faulty nodes)."""
+    if points is None:
+        points = _sweep(
+            fault_counts, trials, width, distribution, base_seed,
+            include_distributed=False, include_rounds=False,
+        )
+    figure = FigureSeries(
+        figure="10a" if distribution == "random" else "10b",
+        distribution=distribution,
+        x_label="Number of faulty nodes",
+        y_label="Size of fault block/polygon",
+        x_values=[p.num_faults for p in points],
+    )
+    for model in ("FB", "FP", "MFP"):
+        figure.series[model] = [p.mean_region_size(model) for p in points]
+    return figure
+
+
+def figure11_series(
+    distribution: str = "random",
+    fault_counts: Sequence[int] = DEFAULT_FAULT_COUNTS,
+    trials: int = 3,
+    width: int = 100,
+    base_seed: int = 0,
+    points: Optional[List[SweepPoint]] = None,
+) -> FigureSeries:
+    """Figure 11: rounds of status determination (FB, FP, CMFP, DMFP)."""
+    if points is None:
+        points = _sweep(
+            fault_counts, trials, width, distribution, base_seed,
+            include_distributed=True, include_rounds=True,
+        )
+    figure = FigureSeries(
+        figure="11a" if distribution == "random" else "11b",
+        distribution=distribution,
+        x_label="Number of faulty nodes",
+        y_label="Average # of rounds",
+        x_values=[p.num_faults for p in points],
+    )
+    for model in ("FB", "FP", "CMFP", "DMFP"):
+        figure.series[model] = [p.mean_rounds(model) for p in points]
+    return figure
+
+
+def format_series_table(figure: FigureSeries) -> str:
+    """Render a :class:`FigureSeries` as an aligned text table."""
+    rows = figure.as_rows()
+    widths = [max(len(row[col]) for row in rows) for col in range(len(rows[0]))]
+    lines = [
+        f"Figure {figure.figure} ({figure.distribution} fault distribution)",
+        f"y: {figure.y_label}",
+    ]
+    for row_index, row in enumerate(rows):
+        line = "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        lines.append(line)
+        if row_index == 0:
+            lines.append("-" * len(line))
+    return "\n".join(lines)

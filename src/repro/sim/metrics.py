@@ -1,0 +1,107 @@
+"""Metric records for the evaluation harness.
+
+The paper's three figures all plot one scalar per (fault model, fault
+count, distribution) combination:
+
+* Figure 9 -- total number of non-faulty but disabled nodes in the network;
+* Figure 10 -- average region size (faulty + non-faulty nodes per region);
+* Figure 11 -- number of rounds of neighbour information exchange needed to
+  determine all node statuses (FB, FP, CMFP and DMFP).
+
+:class:`ConstructionMetrics` captures those scalars for a single
+construction run; :class:`ScenarioMetrics` groups the runs that share a
+fault pattern; :class:`SweepPoint` averages scenarios at one fault count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class ConstructionMetrics:
+    """Scalars extracted from one construction on one fault pattern."""
+
+    model: str
+    num_faults: int
+    num_regions: int
+    disabled_nonfaulty: int
+    mean_region_size: float
+    rounds: int
+
+    @property
+    def disabled_total(self) -> int:
+        """Faulty plus sacrificed non-faulty nodes."""
+        return self.num_faults + self.disabled_nonfaulty
+
+
+@dataclass
+class ScenarioMetrics:
+    """All construction metrics for one fault scenario."""
+
+    num_faults: int
+    distribution: str
+    seed: int
+    per_model: Dict[str, ConstructionMetrics] = field(default_factory=dict)
+
+    def add(self, metrics: ConstructionMetrics) -> None:
+        """Register the metrics of one construction."""
+        self.per_model[metrics.model] = metrics
+
+    def disabled_nonfaulty(self, model: str) -> int:
+        """Figure 9 scalar for *model*."""
+        return self.per_model[model].disabled_nonfaulty
+
+    def mean_region_size(self, model: str) -> float:
+        """Figure 10 scalar for *model*."""
+        return self.per_model[model].mean_region_size
+
+    def rounds(self, model: str) -> int:
+        """Figure 11 scalar for *model*."""
+        return self.per_model[model].rounds
+
+    def saving_vs_fb(self, model: str) -> float:
+        """Fraction of FB-disabled non-faulty nodes re-enabled by *model*.
+
+        The paper quotes roughly 50% for FP and 90% for MFP.
+        """
+        fb = self.per_model["FB"].disabled_nonfaulty
+        if fb == 0:
+            return 0.0
+        return 1.0 - self.per_model[model].disabled_nonfaulty / fb
+
+
+@dataclass
+class SweepPoint:
+    """Average of several scenarios at one fault count."""
+
+    num_faults: int
+    distribution: str
+    scenarios: List[ScenarioMetrics] = field(default_factory=list)
+
+    def add(self, scenario: ScenarioMetrics) -> None:
+        """Register one scenario's metrics."""
+        self.scenarios.append(scenario)
+
+    def _mean_over(self, extractor) -> float:
+        if not self.scenarios:
+            return 0.0
+        return mean(extractor(s) for s in self.scenarios)
+
+    def mean_disabled_nonfaulty(self, model: str) -> float:
+        """Average Figure 9 value at this fault count."""
+        return self._mean_over(lambda s: s.disabled_nonfaulty(model))
+
+    def mean_region_size(self, model: str) -> float:
+        """Average Figure 10 value at this fault count."""
+        return self._mean_over(lambda s: s.mean_region_size(model))
+
+    def mean_rounds(self, model: str) -> float:
+        """Average Figure 11 value at this fault count."""
+        return self._mean_over(lambda s: s.rounds(model))
+
+    def mean_saving_vs_fb(self, model: str) -> float:
+        """Average fraction of FB's sacrificed nodes re-enabled by *model*."""
+        return self._mean_over(lambda s: s.saving_vs_fb(model))

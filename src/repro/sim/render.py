@@ -1,0 +1,98 @@
+"""Text rendering of figure series: ASCII charts for the terminal.
+
+The evaluation harness produces :class:`~repro.sim.figures.FigureSeries`
+objects; this module turns them into small ASCII line charts so that the
+shape of each reproduced figure (who wins, where curves cross) can be read
+directly from the benchmark output or an example script without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.figures import FigureSeries
+
+#: One plot glyph per series, cycled in declaration order.
+_GLYPHS = "*o+x#@"
+
+
+def _scale(value: float, lo: float, hi: float, height: int) -> int:
+    """Map *value* in ``[lo, hi]`` to a row index in ``[0, height - 1]``."""
+    if hi <= lo:
+        return 0
+    fraction = (value - lo) / (hi - lo)
+    return min(height - 1, max(0, round(fraction * (height - 1))))
+
+
+def render_ascii_chart(
+    figure: FigureSeries,
+    height: int = 12,
+    width: Optional[int] = None,
+) -> str:
+    """Render a :class:`FigureSeries` as an ASCII chart.
+
+    Each series gets its own glyph; the y axis is scaled to the overall
+    minimum/maximum across all series, and the x axis lists the fault
+    counts.  ``width`` controls the number of character columns available
+    for the plotting area (defaults to 4 columns per x value).
+    """
+    if not figure.series:
+        return "(empty figure)"
+    x_count = len(figure.x_values)
+    columns = width if width is not None else max(4 * x_count, 2 * x_count)
+    all_values = [v for series in figure.series.values() for v in series]
+    lo, hi = min(all_values), max(all_values)
+
+    # canvas[row][col]; row 0 is the top of the chart.
+    canvas = [[" "] * columns for _ in range(height)]
+    column_of = [
+        round(index * (columns - 1) / max(1, x_count - 1)) for index in range(x_count)
+    ]
+    legend: List[str] = []
+    for series_index, (name, values) in enumerate(figure.series.items()):
+        glyph = _GLYPHS[series_index % len(_GLYPHS)]
+        legend.append(f"{glyph} = {name}")
+        for index, value in enumerate(values):
+            row = height - 1 - _scale(value, lo, hi, height)
+            col = column_of[index]
+            existing = canvas[row][col]
+            canvas[row][col] = "&" if existing not in (" ", glyph) else glyph
+
+    y_labels = [f"{hi:8.2f} |", *([" " * 8 + " |"] * (height - 2)), f"{lo:8.2f} |"]
+    lines = [
+        f"Figure {figure.figure} ({figure.distribution}): {figure.y_label}",
+    ]
+    for row in range(height):
+        lines.append(y_labels[row] + "".join(canvas[row]))
+    axis = " " * 9 + "+" + "-" * columns
+    lines.append(axis)
+    # Leave room for the last tick label to extend past the plotting area.
+    tick_line = [" "] * (columns + 10 + 8)
+    for index, x in enumerate(figure.x_values):
+        label = str(x)
+        start = 10 + column_of[index]
+        for offset, char in enumerate(label):
+            position = start + offset
+            if position < len(tick_line):
+                tick_line[position] = char
+    lines.append("".join(tick_line).rstrip())
+    lines.append("legend: " + "   ".join(legend) + "   (& = overlapping points)")
+    return "\n".join(lines)
+
+
+def render_comparison_summary(figures: Sequence[FigureSeries]) -> str:
+    """Render the final-point values of several figures as one table.
+
+    Handy one-screen summary: for every figure, the value of each series at
+    the largest fault count.
+    """
+    lines = ["series values at the largest fault count"]
+    for figure in figures:
+        top = figure.x_values[-1]
+        parts = [f"{name}={figure.value(name, top):.2f}" for name in figure.series]
+        lines.append(
+            f"  Figure {figure.figure} ({figure.distribution}, {top} faults): "
+            + ", ".join(parts)
+        )
+    return "\n".join(lines)

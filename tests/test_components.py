@@ -1,0 +1,118 @@
+"""Unit tests for the merge process (repro.core.components)."""
+
+import pytest
+
+from repro.core.components import (
+    FaultComponent,
+    component_of,
+    component_statistics,
+    find_components,
+    largest_component,
+)
+from repro.geometry.rectangle import Rectangle
+
+
+class TestFaultComponent:
+    def test_empty_component_rejected(self):
+        with pytest.raises(ValueError):
+            FaultComponent(index=0, nodes=frozenset())
+
+    def test_bounding_box_and_coordinates(self):
+        component = FaultComponent(0, frozenset({(2, 3), (4, 5), (3, 3)}))
+        assert component.bounding_box == Rectangle(2, 3, 4, 5)
+        assert (component.min_x, component.min_y) == (2, 3)
+        assert (component.max_x, component.max_y) == (4, 5)
+        assert component.extent == 3
+
+    def test_membership_iteration_and_size(self):
+        component = FaultComponent(0, frozenset({(1, 1), (1, 2)}))
+        assert (1, 1) in component
+        assert (2, 2) not in component
+        assert list(component) == [(1, 1), (1, 2)]
+        assert len(component) == 2
+
+    def test_is_adjacent_uses_definition_2(self):
+        component = FaultComponent(0, frozenset({(2, 2)}))
+        assert component.is_adjacent((3, 3))
+        assert component.is_adjacent((1, 2))
+        assert not component.is_adjacent((4, 2))
+        assert not component.is_adjacent((2, 2))  # members are not adjacent
+
+    def test_perimeter(self):
+        component = FaultComponent(0, frozenset({(0, 0), (1, 0)}))
+        assert component.perimeter == 6
+
+
+class TestFindComponents:
+    def test_no_faults(self):
+        assert find_components([]) == []
+
+    def test_single_fault(self):
+        components = find_components([(3, 3)])
+        assert len(components) == 1
+        assert components[0].nodes == frozenset({(3, 3)})
+
+    def test_diagonal_faults_merge(self):
+        components = find_components([(0, 0), (1, 1)])
+        assert len(components) == 1
+
+    def test_knight_move_faults_stay_separate(self):
+        components = find_components([(0, 0), (1, 2)])
+        assert len(components) == 2
+
+    def test_without_diagonal_adjacency(self):
+        components = find_components([(0, 0), (1, 1)], diagonal=False)
+        assert len(components) == 2
+
+    def test_figure4_has_two_components(self, figure4_faults):
+        components = find_components(figure4_faults)
+        assert len(components) == 2
+        sizes = sorted(c.size for c in components)
+        assert sizes == [2, 4]
+
+    def test_component_indices_are_sequential_and_deterministic(self):
+        faults = [(5, 5), (0, 0), (9, 9), (1, 1)]
+        components = find_components(faults)
+        assert [c.index for c in components] == list(range(len(components)))
+        again = find_components(list(reversed(faults)))
+        assert [c.nodes for c in components] == [c.nodes for c in again]
+
+    def test_components_partition_the_fault_set(self, figure3_faults):
+        components = find_components(figure3_faults)
+        union = set()
+        total = 0
+        for component in components:
+            assert not (union & component.nodes)
+            union |= component.nodes
+            total += component.size
+        assert union == set(figure3_faults)
+        assert total == len(set(figure3_faults))
+
+    def test_long_snake_is_one_component(self):
+        snake = [(x, x // 2) for x in range(20)]
+        assert len(find_components(snake)) == 1
+
+
+class TestComponentHelpers:
+    def test_component_of(self, figure4_faults):
+        components = find_components(figure4_faults)
+        assert component_of(components, (2, 2)) is components[0]
+        assert component_of(components, (4, 5)) is components[1]
+        assert component_of(components, (9, 9)) is None
+
+    def test_largest_component(self, figure4_faults):
+        components = find_components(figure4_faults)
+        assert largest_component(components).size == 4
+        assert largest_component([]) is None
+
+    def test_statistics(self, figure4_faults):
+        stats = component_statistics(find_components(figure4_faults))
+        assert stats["count"] == 2
+        assert stats["max_size"] == 4
+        assert stats["mean_size"] == 3.0
+        assert stats["max_extent"] >= 2
+
+    def test_statistics_empty(self):
+        stats = component_statistics([])
+        assert stats["count"] == 0
+        assert stats["mean_size"] == 0.0

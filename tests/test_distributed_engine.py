@@ -1,0 +1,144 @@
+"""Unit tests for the synchronous message-passing engine."""
+
+import pytest
+
+from repro.distributed.engine import Envelope, NodeProgram, SynchronousEngine
+from repro.mesh.topology import Mesh2D, Torus2D
+
+
+class FloodProgram(NodeProgram):
+    """Simple flooding protocol used to exercise the engine.
+
+    The origin node announces a token before round 1; every node forwards
+    the token to its neighbours the first time it receives it and records
+    the round-relative hop distance (the number of rounds until reception).
+    """
+
+    origin = (0, 0)
+
+    def __init__(self, node, topology):
+        super().__init__(node, topology)
+        self.received_at = 0 if node == self.origin else None
+
+    def start(self):
+        if self.node == self.origin:
+            return [(n, "token") for n in self.neighbours()]
+        return []
+
+    def on_round(self, inbox):
+        if self.received_at is not None:
+            return []
+        if any(envelope.payload == "token" for envelope in inbox):
+            self.received_at = 1  # placeholder; distance checked via rounds
+            return [(n, "token") for n in self.neighbours()]
+        return []
+
+
+class SilentProgram(NodeProgram):
+    """A protocol that never sends anything."""
+
+    def on_round(self, inbox):  # pragma: no cover - never called
+        return []
+
+
+class ChattyProgram(NodeProgram):
+    """A protocol that never quiesces (used to test the round cap)."""
+
+    def start(self):
+        return [(n, "ping") for n in self.neighbours()]
+
+    def on_round(self, inbox):
+        return [(n, "ping") for n in self.neighbours()]
+
+
+class WakeupProgram(NodeProgram):
+    """Uses request_wakeup to run a fixed number of rounds without messages."""
+
+    def __init__(self, node, topology):
+        super().__init__(node, topology)
+        self.ticks = 0
+        if node == (0, 0):
+            self.request_wakeup()
+
+    def on_round(self, inbox):
+        self.ticks += 1
+        if self.ticks < 3:
+            self.request_wakeup()
+        return []
+
+
+class TestSynchronousEngine:
+    def test_silent_protocol_quiesces_immediately(self):
+        engine = SynchronousEngine(Mesh2D(3, 3), SilentProgram)
+        stats = engine.run()
+        assert stats.rounds == 0
+        assert stats.messages == 0
+
+    def test_flood_reaches_every_node(self):
+        engine = SynchronousEngine(Mesh2D(4, 4), FloodProgram)
+        engine.run()
+        received = engine.collect("received_at")
+        assert all(value is not None for value in received.values())
+
+    def test_flood_round_count_matches_network_eccentricity(self):
+        # The token spreads one hop per round; the farthest node of a 4x4
+        # mesh from (0, 0) is 6 hops away, plus the final quiescence round.
+        engine = SynchronousEngine(Mesh2D(4, 4), FloodProgram)
+        stats = engine.run()
+        assert stats.rounds == 7
+
+    def test_flood_on_torus_is_faster(self):
+        mesh_stats = SynchronousEngine(Mesh2D(5, 5), FloodProgram).run()
+        torus_stats = SynchronousEngine(Torus2D(5, 5), FloodProgram).run()
+        assert torus_stats.rounds < mesh_stats.rounds
+
+    def test_non_neighbour_send_rejected(self):
+        class BadProgram(NodeProgram):
+            def start(self):
+                if self.node == (0, 0):
+                    return [((3, 3), "far")]
+                return []
+
+            def on_round(self, inbox):
+                return []
+
+        with pytest.raises(ValueError):
+            SynchronousEngine(Mesh2D(4, 4), BadProgram).run()
+
+    def test_messages_to_outside_positions_are_dropped(self):
+        class EdgeProgram(NodeProgram):
+            def start(self):
+                if self.node == (0, 0):
+                    return [((-1, 0), "off"), ((0, 1), "on")]
+                return []
+
+            def __init__(self, node, topology):
+                super().__init__(node, topology)
+                self.got = []
+
+            def on_round(self, inbox):
+                self.got.extend(envelope.payload for envelope in inbox)
+                return []
+
+        engine = SynchronousEngine(Mesh2D(3, 3), EdgeProgram)
+        stats = engine.run()
+        assert stats.messages == 1
+        assert engine.state_of((0, 1)).got == ["on"]
+
+    def test_round_cap_raises(self):
+        engine = SynchronousEngine(Mesh2D(3, 3), ChattyProgram)
+        with pytest.raises(RuntimeError):
+            engine.run(max_rounds=5)
+
+    def test_wakeup_scheduling(self):
+        engine = SynchronousEngine(Mesh2D(2, 2), WakeupProgram)
+        stats = engine.run()
+        assert engine.state_of((0, 0)).ticks == 3
+        assert stats.rounds == 3
+        assert stats.messages == 0
+
+    def test_deliveries_per_round_recorded(self):
+        engine = SynchronousEngine(Mesh2D(3, 1), FloodProgram)
+        stats = engine.run()
+        assert len(stats.deliveries_per_round) == stats.rounds
+        assert sum(stats.deliveries_per_round) == stats.messages

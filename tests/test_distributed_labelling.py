@@ -1,0 +1,78 @@
+"""The distributed labelling protocols agree with the vectorised sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.core.labelling import (
+    apply_labelling_scheme_1,
+    apply_labelling_scheme_2,
+    faults_to_mask,
+)
+from repro.distributed.labelling_protocol import (
+    run_distributed_scheme_1,
+    run_distributed_scheme_2,
+)
+from repro.faults.scenario import generate_scenario
+from repro.mesh.topology import Mesh2D
+
+
+def as_map(mask):
+    width, height = mask.shape
+    return {(x, y): bool(mask[x, y]) for x in range(width) for y in range(height)}
+
+
+class TestDistributedScheme1:
+    def test_matches_vectorised_labels_and_rounds(self):
+        for seed in range(4):
+            scenario = generate_scenario(num_faults=18, width=12, model="clustered", seed=seed)
+            topology = scenario.topology()
+            fault_mask = faults_to_mask(scenario.faults, 12, 12)
+            vectorised = apply_labelling_scheme_1(fault_mask, topology)
+            distributed_map, rounds = run_distributed_scheme_1(topology, scenario.faults)
+            assert distributed_map == as_map(vectorised.labels)
+            assert rounds == vectorised.rounds
+
+    def test_no_faults(self):
+        topology = Mesh2D(5, 5)
+        labels, rounds = run_distributed_scheme_1(topology, [])
+        assert not any(labels.values())
+        assert rounds == 0
+
+    def test_single_fault(self):
+        topology = Mesh2D(5, 5)
+        labels, rounds = run_distributed_scheme_1(topology, [(2, 2)])
+        assert labels[(2, 2)]
+        assert sum(labels.values()) == 1
+        assert rounds == 0
+
+
+class TestDistributedScheme2:
+    def test_matches_vectorised_labels_and_rounds(self):
+        for seed in range(4):
+            scenario = generate_scenario(num_faults=20, width=12, model="clustered", seed=seed)
+            topology = scenario.topology()
+            fault_mask = faults_to_mask(scenario.faults, 12, 12)
+            scheme1 = apply_labelling_scheme_1(fault_mask, topology)
+            scheme2 = apply_labelling_scheme_2(fault_mask, scheme1.labels, topology)
+
+            unsafe_map, _ = run_distributed_scheme_1(topology, scenario.faults)
+            disabled_map, rounds = run_distributed_scheme_2(
+                topology, scenario.faults, unsafe_map
+            )
+            assert disabled_map == as_map(scheme2.labels)
+            assert rounds == scheme2.rounds
+
+    def test_faulty_nodes_never_reenabled(self):
+        topology = Mesh2D(6, 6)
+        faults = [(1, 1), (2, 2)]
+        unsafe_map, _ = run_distributed_scheme_1(topology, faults)
+        disabled_map, _ = run_distributed_scheme_2(topology, faults, unsafe_map)
+        assert disabled_map[(1, 1)] and disabled_map[(2, 2)]
+
+    def test_diagonal_pair_block_shrinks(self):
+        topology = Mesh2D(6, 6)
+        faults = [(2, 2), (3, 3)]
+        unsafe_map, _ = run_distributed_scheme_1(topology, faults)
+        disabled_map, _ = run_distributed_scheme_2(topology, faults, unsafe_map)
+        assert not disabled_map[(2, 3)]
+        assert not disabled_map[(3, 2)]

@@ -1,0 +1,112 @@
+"""Unit tests for the notification phase (repro.distributed.notification)."""
+
+import pytest
+
+from repro.core.components import find_components
+from repro.distributed.notification import (
+    plan_notifications,
+    plan_section_notification,
+)
+from repro.distributed.ring import construct_boundary_ring
+from repro.geometry.sections import Section, concave_sections, section_nodes
+
+
+def single_component(shape):
+    components = find_components(shape)
+    assert len(components) == 1
+    return components[0]
+
+
+class TestSectionNotification:
+    def test_unblocked_section_is_walked_straight(self):
+        section = Section("row", 3, 2, 5)
+        plan = plan_section_notification(section, (1, 3), set(), detected_by_ring=True)
+        assert plan.notified == frozenset(section.nodes())
+        assert plan.skipped == frozenset()
+        assert plan.rounds == 4
+        assert not plan.detoured
+
+    def test_end_node_inside_the_section_starts_from_itself(self):
+        section = Section("column", 2, 1, 3)
+        plan = plan_section_notification(section, (2, 1), set(), detected_by_ring=True)
+        assert plan.notified == frozenset(section.nodes())
+        assert plan.rounds == 2  # (2,1) is already held; two more hops
+
+    def test_walk_starts_from_the_nearest_end(self):
+        section = Section("row", 0, 0, 4)
+        plan = plan_section_notification(section, (5, 0), set(), detected_by_ring=True)
+        # The notifier sits east of the section, so the first hop is (4, 0).
+        assert plan.path[0] == (4, 0)
+
+    def test_blocked_cells_are_skipped_and_detoured(self):
+        section = Section("row", 0, 0, 4)
+        blocking = {(2, 0)}
+        plan = plan_section_notification(section, (-1, 0), blocking, detected_by_ring=True)
+        assert (2, 0) in plan.skipped
+        assert (2, 0) not in plan.notified
+        assert plan.notified == frozenset(section.nodes()) - blocking
+        assert plan.detoured
+        # Detouring around one blocked node costs at least two extra hops.
+        assert plan.rounds >= len(section.nodes()) - 1 + 2
+
+    def test_single_cell_section(self):
+        section = Section("row", 0, 2, 2)
+        plan = plan_section_notification(section, (1, 0), set(), detected_by_ring=True)
+        assert plan.notified == frozenset({(2, 0)})
+        assert plan.rounds == 1
+
+
+class TestPlanNotifications:
+    def test_convex_component_plans_nothing(self, figure2_region):
+        component = single_component(figure2_region)
+        ring = construct_boundary_ring(component)
+        plan = plan_notifications(component, ring)
+        assert plan.notifications == []
+        assert plan.rounds == 0
+        assert plan.disabled_nodes == set()
+
+    def test_u_shape_plan_covers_the_slot(self, u_shape):
+        component = single_component(u_shape)
+        ring = construct_boundary_ring(component)
+        plan = plan_notifications(component, ring)
+        assert plan.disabled_nodes == {(1, 1), (1, 2)}
+        assert all(entry.detected_by_ring for entry in plan.notifications)
+
+    def test_o_shape_plan_fills_the_hole(self, o_shape):
+        component = single_component(o_shape)
+        ring = construct_boundary_ring(component)
+        plan = plan_notifications(component, ring)
+        assert plan.disabled_nodes == {(1, 1), (1, 2), (2, 1), (2, 2)}
+
+    def test_plan_covers_every_definition3_section(self):
+        shape = {(0, 0), (2, 0), (4, 0), (0, 1), (1, 1), (2, 1), (3, 1), (4, 1)}
+        component = single_component(shape)
+        ring = construct_boundary_ring(component)
+        plan = plan_notifications(component, ring)
+        assert plan.disabled_nodes == section_nodes(concave_sections(shape))
+
+    def test_rounds_are_the_longest_section_path(self, o_shape):
+        component = single_component(o_shape)
+        ring = construct_boundary_ring(component)
+        plan = plan_notifications(component, ring)
+        assert plan.rounds == max(entry.rounds for entry in plan.notifications)
+        assert plan.total_messages == sum(entry.rounds for entry in plan.notifications)
+
+    def test_blocking_faults_cause_detours_but_not_gaps(self):
+        # A C-shaped component (open to the east) whose concave column
+        # sections pass through another component's fault: the blocked cell
+        # stays black, the rest of the section is still notified, and the
+        # message pays a detour to get past the blocking node.
+        c_shape = (
+            {(x, 0) for x in range(5)}
+            | {(x, 4) for x in range(5)}
+            | {(0, y) for y in range(5)}
+        )
+        blocker = (2, 2)  # sits mid-way along the column-2 section
+        component = single_component(c_shape)
+        ring = construct_boundary_ring(component)
+        plan = plan_notifications(component, ring, blocking_faults={blocker})
+        notified = plan.disabled_nodes
+        expected = section_nodes(concave_sections(c_shape)) - {blocker}
+        assert notified == expected
+        assert any(entry.detoured for entry in plan.notifications)

@@ -1,0 +1,140 @@
+"""Unit tests for repro.faults (fault models and scenarios)."""
+
+import numpy as np
+import pytest
+
+from repro.faults.models import ClusteredFaultModel, RandomFaultModel, make_fault_model
+from repro.faults.scenario import FaultScenario, generate_scenario, sweep_scenarios
+from repro.geometry.boundary import eight_neighbours
+from repro.mesh.topology import Mesh2D, Torus2D
+
+
+class TestRandomFaultModel:
+    def test_draws_requested_count_without_duplicates(self, mesh20):
+        model = RandomFaultModel(mesh20, np.random.default_rng(0))
+        faults = model.draw_faults(50)
+        assert len(faults) == 50
+        assert len(set(faults)) == 50
+
+    def test_all_faults_inside_topology(self, mesh20):
+        model = RandomFaultModel(mesh20, np.random.default_rng(1))
+        assert all(fault in mesh20 for fault in model.draw_faults(100))
+
+    def test_zero_faults(self, mesh10):
+        assert RandomFaultModel(mesh10).draw_faults(0) == []
+
+    def test_rejects_negative_and_oversized_counts(self, mesh10):
+        model = RandomFaultModel(mesh10)
+        with pytest.raises(ValueError):
+            model.draw_faults(-1)
+        with pytest.raises(ValueError):
+            model.draw_faults(101)
+
+    def test_can_fill_the_whole_mesh(self):
+        mesh = Mesh2D(4, 4)
+        faults = RandomFaultModel(mesh, np.random.default_rng(2)).draw_faults(16)
+        assert set(faults) == set(mesh.nodes())
+
+    def test_seeded_reproducibility(self, mesh20):
+        a = RandomFaultModel(mesh20, np.random.default_rng(7)).draw_faults(30)
+        b = RandomFaultModel(mesh20, np.random.default_rng(7)).draw_faults(30)
+        assert a == b
+
+
+class TestClusteredFaultModel:
+    def test_draws_requested_count_without_duplicates(self, mesh20):
+        model = ClusteredFaultModel(mesh20, np.random.default_rng(0))
+        faults = model.draw_faults(60)
+        assert len(faults) == 60
+        assert len(set(faults)) == 60
+
+    def test_rejects_non_positive_cluster_factor(self, mesh10):
+        with pytest.raises(ValueError):
+            ClusteredFaultModel(mesh10, cluster_factor=0)
+
+    def test_clustering_increases_adjacency(self, mesh20):
+        """Clustered faults touch existing faults more often than random ones."""
+        def adjacency_fraction(faults):
+            fault_set = set(faults)
+            adjacent = 0
+            for fault in faults:
+                if any(n in fault_set for n in eight_neighbours(fault)):
+                    adjacent += 1
+            return adjacent / len(faults)
+
+        rng_random = np.random.default_rng(3)
+        rng_clustered = np.random.default_rng(3)
+        random_fraction = np.mean([
+            adjacency_fraction(RandomFaultModel(mesh20, rng_random).draw_faults(60))
+            for _ in range(5)
+        ])
+        clustered_fraction = np.mean([
+            adjacency_fraction(
+                ClusteredFaultModel(mesh20, rng_clustered, cluster_factor=8.0).draw_faults(60)
+            )
+            for _ in range(5)
+        ])
+        assert clustered_fraction > random_fraction
+
+    def test_works_on_torus(self, torus10):
+        model = ClusteredFaultModel(torus10, np.random.default_rng(5))
+        faults = model.draw_faults(20)
+        assert all(fault in torus10 for fault in faults)
+
+
+class TestMakeFaultModel:
+    def test_dispatch(self, mesh10):
+        assert isinstance(make_fault_model("random", mesh10), RandomFaultModel)
+        assert isinstance(make_fault_model("clustered", mesh10), ClusteredFaultModel)
+        assert isinstance(make_fault_model("  Clustered ", mesh10), ClusteredFaultModel)
+
+    def test_unknown_model_rejected(self, mesh10):
+        with pytest.raises(ValueError):
+            make_fault_model("gaussian", mesh10)
+
+    def test_cluster_factor_forwarded(self, mesh10):
+        model = make_fault_model("clustered", mesh10, cluster_factor=4.0)
+        assert model.cluster_factor == 4.0
+
+
+class TestScenario:
+    def test_generate_scenario_defaults(self):
+        scenario = generate_scenario(num_faults=10, width=15, seed=1)
+        assert scenario.width == scenario.height == 15
+        assert scenario.num_faults == 10
+        assert scenario.model == "random"
+        assert not scenario.torus
+        assert isinstance(scenario.topology(), Mesh2D)
+
+    def test_generate_scenario_torus(self):
+        scenario = generate_scenario(num_faults=5, width=8, torus=True, seed=2)
+        assert isinstance(scenario.topology(), Torus2D)
+
+    def test_scenario_is_reproducible(self):
+        a = generate_scenario(num_faults=20, width=20, model="clustered", seed=9)
+        b = generate_scenario(num_faults=20, width=20, model="clustered", seed=9)
+        assert a.faults == b.faults
+
+    def test_fault_set(self):
+        scenario = generate_scenario(num_faults=12, width=10, seed=4)
+        assert scenario.fault_set() == frozenset(scenario.faults)
+        assert len(scenario.fault_set()) == 12
+
+    def test_describe_mentions_model_and_size(self):
+        scenario = generate_scenario(num_faults=3, width=6, model="clustered", seed=0)
+        text = scenario.describe()
+        assert "6x6" in text and "clustered" in text and "3 faults" in text
+
+    def test_sweep_scenarios_shapes(self):
+        scenarios = list(sweep_scenarios([5, 10], trials=3, width=12, base_seed=100))
+        assert len(scenarios) == 6
+        assert [s.num_faults for s in scenarios] == [5, 5, 5, 10, 10, 10]
+        # Distinct seeds per trial, deterministic across runs.
+        seeds = [s.seed for s in scenarios]
+        assert len(set(seeds)) == 6
+        again = list(sweep_scenarios([5, 10], trials=3, width=12, base_seed=100))
+        assert [s.faults for s in scenarios] == [s.faults for s in again]
+
+    def test_sweep_rejects_zero_trials(self):
+        with pytest.raises(ValueError):
+            list(sweep_scenarios([5], trials=0))

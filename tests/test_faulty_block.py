@@ -1,0 +1,72 @@
+"""Unit tests for the rectangular faulty block model (FB)."""
+
+import pytest
+
+from repro.core.faulty_block import (
+    build_faulty_blocks,
+    build_faulty_blocks_for_scenario,
+)
+from repro.faults.scenario import generate_scenario
+from repro.mesh.topology import Mesh2D
+from repro.types import FaultRegionModel
+
+
+class TestBuildFaultyBlocks:
+    def test_no_faults(self):
+        result = build_faulty_blocks([], width=10)
+        assert result.regions == []
+        assert result.num_disabled_nonfaulty == 0
+        assert result.rounds == 0
+        assert result.mean_region_size == 0.0
+
+    def test_model_tag(self):
+        result = build_faulty_blocks([(1, 1)], width=8)
+        assert result.model is FaultRegionModel.FAULTY_BLOCK
+
+    def test_single_fault_is_its_own_block(self):
+        result = build_faulty_blocks([(3, 3)], width=8)
+        assert len(result.regions) == 1
+        assert result.regions[0].size == 1
+        assert result.num_disabled_nonfaulty == 0
+
+    def test_diagonal_faults_grow_a_2x2_block(self):
+        result = build_faulty_blocks([(2, 2), (3, 3)], width=8)
+        assert len(result.regions) == 1
+        assert result.regions[0].size == 4
+        assert result.num_disabled_nonfaulty == 2
+        assert result.all_rectangular()
+
+    def test_every_block_is_a_rectangle(self):
+        scenario = generate_scenario(num_faults=120, width=30, model="clustered", seed=5)
+        result = build_faulty_blocks_for_scenario(scenario)
+        assert result.all_rectangular()
+
+    def test_blocks_are_disjoint_and_cover_all_faults(self):
+        scenario = generate_scenario(num_faults=80, width=25, seed=11)
+        result = build_faulty_blocks_for_scenario(scenario)
+        covered = set()
+        for block in result.blocks:
+            assert not (covered & block.nodes)
+            covered |= block.nodes
+        assert set(scenario.faults) <= covered
+
+    def test_unsafe_equals_disabled_under_fb(self):
+        result = build_faulty_blocks([(1, 1), (2, 2), (4, 4)], width=10)
+        assert result.grid.unsafe_set() == result.grid.disabled_set()
+
+    def test_figure4_faults_form_a_single_block(self, figure4_faults):
+        result = build_faulty_blocks(figure4_faults, width=10)
+        assert len(result.regions) == 1
+        # The merged block contains several sacrificed non-faulty nodes.
+        assert result.num_disabled_nonfaulty > 0
+
+    def test_explicit_topology_object(self):
+        topology = Mesh2D(12, 9)
+        result = build_faulty_blocks([(11, 8)], topology=topology)
+        assert result.grid.topology is topology
+
+    def test_mean_region_size(self):
+        result = build_faulty_blocks([(0, 0), (5, 5), (6, 6)], width=10)
+        sizes = sorted(r.size for r in result.regions)
+        assert sizes == [1, 4]
+        assert result.mean_region_size == pytest.approx(2.5)

@@ -1,0 +1,116 @@
+"""Unit tests for repro.geometry.boundary (boundary nodes and the ring walk)."""
+
+import pytest
+
+from repro.geometry.boundary import (
+    boundary_nodes,
+    boundary_ring,
+    eight_neighbours,
+    four_neighbours,
+    region_perimeter,
+    ring_length,
+    ring_members,
+    southwest_outer_corner,
+)
+from repro.types import Side
+
+
+class TestNeighbourhoods:
+    def test_four_neighbours(self):
+        assert set(four_neighbours((2, 3))) == {(2, 4), (3, 3), (2, 2), (1, 3)}
+
+    def test_eight_neighbours(self):
+        neighbours = eight_neighbours((0, 0))
+        assert len(neighbours) == 8
+        assert (1, 1) in neighbours and (-1, -1) in neighbours
+        assert (0, 0) not in neighbours
+
+
+class TestBoundaryNodes:
+    def test_single_node_boundary_sides(self):
+        sides = boundary_nodes({(2, 2)})
+        assert sides[(2, 3)] == {Side.NORTH}
+        assert sides[(2, 1)] == {Side.SOUTH}
+        assert sides[(3, 2)] == {Side.EAST}
+        assert sides[(1, 2)] == {Side.WEST}
+        assert len(sides) == 4
+
+    def test_node_with_multiple_sides(self):
+        # A node wedged between two component nodes holds both sides, like
+        # node (1, 2) in the paper's Figure 8 discussion.
+        region = {(0, 0), (2, 0)}
+        sides = boundary_nodes(region)
+        assert sides[(1, 0)] == {Side.EAST, Side.WEST}
+
+    def test_slot_node_has_three_sides(self, u_shape):
+        sides = boundary_nodes(u_shape)
+        assert sides[(1, 1)] == {Side.EAST, Side.WEST, Side.NORTH}
+
+    def test_ring_members_include_outer_corners(self):
+        members = ring_members({(2, 2)})
+        assert (1, 1) in members
+        assert members[(1, 1)].is_outer_corner
+        assert not members[(1, 2)].is_outer_corner
+        assert len(members) == 8
+
+
+class TestPerimeter:
+    def test_single_node_perimeter(self):
+        assert region_perimeter({(0, 0)}) == 4
+
+    def test_domino_perimeter(self):
+        assert region_perimeter({(0, 0), (1, 0)}) == 6
+
+    def test_square_perimeter(self):
+        square = {(x, y) for x in range(3) for y in range(3)}
+        assert region_perimeter(square) == 12
+
+
+class TestBoundaryRing:
+    def test_empty_region_has_empty_ring(self):
+        assert boundary_ring(set()) == []
+
+    def test_single_node_ring(self):
+        ring = boundary_ring({(5, 5)})
+        assert len(ring) == 8
+        assert set(ring) == set(eight_neighbours((5, 5)))
+
+    def test_ring_steps_are_adjacent(self, u_shape, o_shape, figure2_region):
+        for region in (u_shape, o_shape, figure2_region, {(0, 0), (1, 1)}):
+            ring = boundary_ring(region)
+            cyclic = ring + [ring[0]]
+            for a, b in zip(cyclic, cyclic[1:]):
+                assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+
+    def test_ring_avoids_region(self, o_shape):
+        assert not set(boundary_ring(o_shape)) & set(o_shape)
+
+    def test_ring_surrounds_region(self, figure2_region):
+        # Every 4-adjacent outside node of the region appears in the walk.
+        ring = set(boundary_ring(figure2_region))
+        assert set(boundary_nodes(figure2_region)) <= ring
+
+    def test_ring_visits_slot_nodes_twice(self, u_shape):
+        # The initiation message enters a 1-wide slot and must come back out
+        # the same way, so the slot nodes appear twice (Figure 5(b)).
+        ring = boundary_ring(u_shape)
+        assert ring.count((1, 2)) == 2
+
+    def test_ring_length_grows_with_region_size(self):
+        small = ring_length({(0, 0)})
+        large = ring_length({(x, 0) for x in range(5)})
+        assert large > small
+
+    def test_diagonally_connected_component_has_single_ring(self):
+        ring = boundary_ring({(0, 0), (1, 1)})
+        assert set(boundary_nodes({(0, 0), (1, 1)})) <= set(ring)
+
+
+class TestSouthwestCorner:
+    def test_rectangle_corner(self):
+        square = {(x, y) for x in range(2, 4) for y in range(5, 7)}
+        assert southwest_outer_corner(square) == (1, 4)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            southwest_outer_corner(set())

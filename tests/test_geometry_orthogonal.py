@@ -1,0 +1,124 @@
+"""Unit tests for repro.geometry.orthogonal (Definition 1 and the hull)."""
+
+import pytest
+
+from repro.geometry.orthogonal import (
+    hull_fill_nodes,
+    is_orthogonal_convex,
+    orthogonal_convex_hull,
+    orthogonal_convexity_violations,
+)
+from repro.geometry.rectangle import Rectangle
+
+
+class TestIsOrthogonalConvex:
+    def test_empty_region_is_convex(self):
+        assert is_orthogonal_convex(set())
+
+    def test_single_node_is_convex(self):
+        assert is_orthogonal_convex({(3, 3)})
+
+    def test_rectangle_is_convex(self):
+        assert is_orthogonal_convex(Rectangle(0, 0, 3, 2).node_set())
+
+    def test_l_shape_is_convex(self, figure2_region):
+        # The paper calls {(2,4), (3,4), (4,3)} an L-shape polygon.
+        assert is_orthogonal_convex(figure2_region)
+
+    def test_plus_shape_is_convex(self, plus_shape):
+        assert is_orthogonal_convex(plus_shape)
+
+    def test_t_shape_is_convex(self):
+        t_shape = {(0, 1), (1, 1), (2, 1), (1, 0)}
+        assert is_orthogonal_convex(t_shape)
+
+    def test_u_shape_is_not_convex(self, u_shape):
+        assert not is_orthogonal_convex(u_shape)
+
+    def test_h_shape_is_not_convex(self):
+        h_shape = {
+            (0, 0), (0, 1), (0, 2),
+            (2, 0), (2, 1), (2, 2),
+            (1, 1),
+        }
+        assert not is_orthogonal_convex(h_shape)
+
+    def test_o_shape_is_not_convex(self, o_shape):
+        assert not is_orthogonal_convex(o_shape)
+
+    def test_staircase_is_convex(self, staircase):
+        # Diagonal contact never violates the horizontal/vertical rule.
+        assert is_orthogonal_convex(staircase)
+
+    def test_disconnected_nodes_are_convex_when_lines_do_not_cross(self):
+        assert is_orthogonal_convex({(0, 0), (5, 5)})
+
+    def test_disconnected_nodes_on_same_row_are_not_convex(self):
+        assert not is_orthogonal_convex({(0, 0), (5, 0)})
+
+
+class TestViolations:
+    def test_convex_region_has_no_violations(self, plus_shape):
+        assert orthogonal_convexity_violations(plus_shape) == set()
+
+    def test_u_shape_violations_are_the_slot(self, u_shape):
+        assert orthogonal_convexity_violations(u_shape) == {(1, 1), (1, 2)}
+
+    def test_row_gap(self):
+        assert orthogonal_convexity_violations({(0, 3), (4, 3)}) == {
+            (1, 3), (2, 3), (3, 3),
+        }
+
+
+class TestOrthogonalConvexHull:
+    def test_hull_of_empty_is_empty(self):
+        assert orthogonal_convex_hull(set()) == frozenset()
+
+    def test_hull_of_convex_region_is_itself(self, figure2_region):
+        assert orthogonal_convex_hull(figure2_region) == frozenset(figure2_region)
+
+    def test_hull_fills_u_shape_slot(self, u_shape):
+        hull = orthogonal_convex_hull(u_shape)
+        assert hull == frozenset(u_shape) | {(1, 1), (1, 2)}
+
+    def test_hull_fills_o_shape_hole(self, o_shape):
+        hull = orthogonal_convex_hull(o_shape)
+        assert hull == frozenset(Rectangle(0, 0, 3, 3).node_set())
+
+    def test_hull_is_orthogonal_convex(self, u_shape, o_shape, staircase):
+        for region in (u_shape, o_shape, staircase, {(0, 0), (3, 1), (1, 4)}):
+            assert is_orthogonal_convex(orthogonal_convex_hull(region))
+
+    def test_hull_is_superset(self, o_shape):
+        assert frozenset(o_shape) <= orthogonal_convex_hull(o_shape)
+
+    def test_hull_is_idempotent(self, u_shape):
+        hull = orthogonal_convex_hull(u_shape)
+        assert orthogonal_convex_hull(hull) == hull
+
+    def test_hull_requires_iteration_when_fills_cascade(self):
+        # Filling the row gap of the top row exposes a new column gap:
+        # the single-pass fill of a *disconnected* set is not always enough,
+        # which is exactly why the hull iterates to a fixed point.
+        region = {(0, 2), (2, 2), (0, 0), (1, 0), (2, 0), (1, 4)}
+        hull = orthogonal_convex_hull(region)
+        assert (1, 2) in hull          # row fill of the top row
+        assert {(1, 1), (1, 3)} <= hull  # column fills exposed by it
+        assert is_orthogonal_convex(hull)
+
+    def test_hull_never_exceeds_bounding_box(self, u_shape):
+        hull = orthogonal_convex_hull(u_shape)
+        box = Rectangle.from_nodes(u_shape)
+        assert all(node in box for node in hull)
+
+    def test_fill_nodes_are_the_non_member_part_of_the_hull(self, u_shape):
+        fill = hull_fill_nodes(u_shape)
+        assert fill == {(1, 1), (1, 2)}
+        assert not (fill & set(u_shape))
+
+    def test_hull_minimality_against_explicit_supersets(self, u_shape):
+        # Any orthogonal convex superset must contain the hull.
+        hull = orthogonal_convex_hull(u_shape)
+        box = Rectangle.from_nodes(u_shape).node_set()
+        assert is_orthogonal_convex(box)
+        assert hull <= box

@@ -1,0 +1,120 @@
+"""Unit tests for repro.geometry.rectangle."""
+
+import pytest
+
+from repro.geometry.rectangle import Rectangle, bounding_rectangle
+
+
+class TestRectangleConstruction:
+    def test_single_node_rectangle(self):
+        rect = Rectangle(3, 4, 3, 4)
+        assert rect.width == 1
+        assert rect.height == 1
+        assert rect.area == 1
+        assert list(rect.nodes()) == [(3, 4)]
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            Rectangle(5, 0, 4, 0)
+        with pytest.raises(ValueError):
+            Rectangle(0, 5, 0, 4)
+
+    def test_dimensions(self):
+        rect = Rectangle(1, 2, 4, 7)
+        assert rect.width == 4
+        assert rect.height == 6
+        assert rect.area == 24
+        assert len(rect) == 24
+
+    def test_corners(self):
+        rect = Rectangle(0, 0, 2, 3)
+        assert set(rect.corners) == {(0, 0), (0, 3), (2, 0), (2, 3)}
+
+    def test_corner_pair_notation(self):
+        rect = Rectangle(1, 2, 3, 4)
+        assert rect.as_corner_pair() == "[(1,2);(3,4)]"
+
+
+class TestRectangleQueries:
+    def test_contains_nodes(self):
+        rect = Rectangle(2, 2, 5, 4)
+        assert (2, 2) in rect
+        assert (5, 4) in rect
+        assert (3, 3) in rect
+        assert (1, 3) not in rect
+        assert (6, 3) not in rect
+        assert (3, 5) not in rect
+
+    def test_contains_rect(self):
+        outer = Rectangle(0, 0, 10, 10)
+        inner = Rectangle(2, 3, 4, 5)
+        assert outer.contains_rect(inner)
+        assert not inner.contains_rect(outer)
+        assert outer.contains_rect(outer)
+
+    def test_intersects_and_intersection(self):
+        a = Rectangle(0, 0, 4, 4)
+        b = Rectangle(3, 3, 6, 6)
+        c = Rectangle(5, 5, 7, 7)
+        assert a.intersects(b)
+        assert a.intersection(b) == Rectangle(3, 3, 4, 4)
+        assert not a.intersects(c)
+        assert a.intersection(c) is None
+
+    def test_touching_rectangles_intersect_on_shared_nodes(self):
+        a = Rectangle(0, 0, 2, 2)
+        b = Rectangle(2, 2, 4, 4)
+        assert a.intersects(b)
+        assert a.intersection(b) == Rectangle(2, 2, 2, 2)
+
+    def test_union_bounds(self):
+        a = Rectangle(0, 0, 1, 1)
+        b = Rectangle(5, 7, 6, 9)
+        assert a.union_bounds(b) == Rectangle(0, 0, 6, 9)
+
+    def test_expanded_and_clipped(self):
+        rect = Rectangle(2, 2, 3, 3)
+        grown = rect.expanded(1)
+        assert grown == Rectangle(1, 1, 4, 4)
+        clipped = grown.clipped(Rectangle(0, 0, 3, 10))
+        assert clipped == Rectangle(1, 1, 3, 4)
+
+    def test_on_perimeter(self):
+        rect = Rectangle(0, 0, 3, 3)
+        assert rect.on_perimeter((0, 2))
+        assert rect.on_perimeter((3, 0))
+        assert not rect.on_perimeter((1, 1))
+        assert not rect.on_perimeter((4, 0))
+
+    def test_iteration_covers_all_nodes_once(self):
+        rect = Rectangle(1, 1, 3, 2)
+        nodes = list(rect)
+        assert len(nodes) == rect.area
+        assert len(set(nodes)) == rect.area
+        assert set(nodes) == rect.node_set()
+
+    def test_rows_and_columns(self):
+        rect = Rectangle(1, 5, 3, 6)
+        assert list(rect.rows()) == [5, 6]
+        assert list(rect.columns()) == [1, 2, 3]
+
+
+class TestBoundingRectangle:
+    def test_single_node(self):
+        assert bounding_rectangle([(4, 7)]) == Rectangle(4, 7, 4, 7)
+
+    def test_scattered_nodes(self):
+        nodes = [(1, 5), (3, 2), (0, 4), (2, 9)]
+        assert bounding_rectangle(nodes) == Rectangle(0, 2, 3, 9)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_rectangle([])
+
+    def test_from_nodes_classmethod(self):
+        assert Rectangle.from_nodes([(0, 0), (2, 3)]) == Rectangle(0, 0, 2, 3)
+
+    def test_bounding_box_contains_all_nodes(self):
+        nodes = [(5, 5), (7, 2), (6, 8)]
+        box = bounding_rectangle(nodes)
+        assert all(node in box for node in nodes)

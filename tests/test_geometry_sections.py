@@ -1,0 +1,91 @@
+"""Unit tests for repro.geometry.sections (Definition 3)."""
+
+import pytest
+
+from repro.geometry.orthogonal import orthogonal_convex_hull
+from repro.geometry.sections import (
+    Section,
+    concave_column_sections,
+    concave_row_sections,
+    concave_sections,
+    section_nodes,
+)
+
+
+class TestSection:
+    def test_row_section_nodes(self):
+        section = Section("row", 3, 1, 4)
+        assert section.length == 4
+        assert section.nodes() == [(1, 3), (2, 3), (3, 3), (4, 3)]
+
+    def test_column_section_nodes(self):
+        section = Section("column", 2, 5, 6)
+        assert section.nodes() == [(2, 5), (2, 6)]
+
+    def test_end_nodes_row(self):
+        section = Section("row", 3, 1, 4)
+        assert section.end_nodes() == ((0, 3), (5, 3))
+
+    def test_end_nodes_column(self):
+        section = Section("column", 2, 5, 6)
+        assert section.end_nodes() == ((2, 4), (2, 7))
+
+    def test_contains(self):
+        section = Section("row", 3, 1, 4)
+        assert (2, 3) in section
+        assert (2, 4) not in section
+        assert (0, 3) not in section
+
+    def test_invalid_axis_rejected(self):
+        with pytest.raises(ValueError):
+            Section("diagonal", 0, 0, 1)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Section("row", 0, 3, 2)
+
+
+class TestConcaveSections:
+    def test_convex_region_has_no_sections(self, figure2_region, plus_shape):
+        assert concave_sections(figure2_region) == []
+        assert concave_sections(plus_shape) == []
+
+    def test_u_shape_has_two_row_sections(self, u_shape):
+        rows = concave_row_sections(u_shape)
+        assert rows == [Section("row", 1, 1, 1), Section("row", 2, 1, 1)]
+        assert concave_column_sections(u_shape) == []
+
+    def test_o_shape_has_row_and_column_sections(self, o_shape):
+        rows = concave_row_sections(o_shape)
+        cols = concave_column_sections(o_shape)
+        assert Section("row", 1, 1, 2) in rows
+        assert Section("row", 2, 1, 2) in rows
+        assert Section("column", 1, 1, 2) in cols
+        assert Section("column", 2, 1, 2) in cols
+
+    def test_multiple_gaps_in_one_row(self):
+        region = {(0, 0), (2, 0), (5, 0)}
+        rows = concave_row_sections(region)
+        assert rows == [Section("row", 0, 1, 1), Section("row", 0, 3, 4)]
+
+    def test_single_node_per_line_yields_no_section(self):
+        region = {(0, 0), (3, 4)}
+        assert concave_sections(region) == []
+
+    def test_section_nodes_union(self, o_shape):
+        nodes = section_nodes(concave_sections(o_shape))
+        assert nodes == {(1, 1), (1, 2), (2, 1), (2, 2)}
+
+    def test_sections_are_disjoint_from_region(self, u_shape, o_shape):
+        for region in (u_shape, o_shape):
+            assert not section_nodes(concave_sections(region)) & set(region)
+
+    def test_component_union_sections_equals_hull_for_connected_shapes(
+        self, u_shape, o_shape, staircase
+    ):
+        # For 8-connected components one pass of concave-section filling is
+        # already the minimum orthogonal convex hull (the distributed
+        # solution relies on this).
+        for region in (u_shape, o_shape, staircase):
+            union = set(region) | section_nodes(concave_sections(region))
+            assert union == set(orthogonal_convex_hull(region))

@@ -1,0 +1,81 @@
+"""Unit tests for the link-fault model (repro.faults.links)."""
+
+import pytest
+
+from repro.core.faulty_block import build_faulty_blocks
+from repro.faults.links import (
+    canonical_link,
+    isolated_by_link_faults,
+    links_to_node_faults,
+    make_link_fault_set,
+)
+from repro.mesh.topology import Mesh2D
+
+
+@pytest.fixture
+def mesh():
+    return Mesh2D(6, 6)
+
+
+class TestLinkFaultSet:
+    def test_canonical_link_is_order_independent(self):
+        assert canonical_link((1, 1), (1, 2)) == canonical_link((1, 2), (1, 1))
+
+    def test_non_adjacent_link_rejected(self, mesh):
+        with pytest.raises(ValueError):
+            make_link_fault_set(mesh, [((0, 0), (2, 0))])
+
+    def test_is_faulty_and_counts(self, mesh):
+        faults = make_link_fault_set(mesh, [((1, 1), (1, 2)), ((3, 3), (4, 3))])
+        assert faults.num_links == 2
+        assert faults.is_faulty((1, 2), (1, 1))
+        assert not faults.is_faulty((0, 0), (0, 1))
+
+    def test_degraded_degree(self, mesh):
+        faults = make_link_fault_set(mesh, [((2, 2), (2, 3)), ((2, 2), (3, 2))])
+        assert faults.degraded_degree((2, 2)) == 2
+        assert faults.degraded_degree((5, 5)) == 2  # corner, both links healthy
+
+
+class TestIsolation:
+    def test_fully_cut_off_node_is_isolated(self, mesh):
+        links = [((0, 0), (1, 0)), ((0, 0), (0, 1))]
+        faults = make_link_fault_set(mesh, links)
+        assert isolated_by_link_faults(faults) == {(0, 0)}
+
+    def test_partially_cut_node_is_not_isolated(self, mesh):
+        faults = make_link_fault_set(mesh, [((0, 0), (1, 0))])
+        assert isolated_by_link_faults(faults) == set()
+
+
+class TestMapping:
+    def test_one_endpoint_per_link(self, mesh):
+        faults = make_link_fault_set(mesh, [((2, 2), (2, 3))])
+        assert links_to_node_faults(faults) == [(2, 2)]
+        assert links_to_node_faults(faults, prefer_lower=False) == [(2, 3)]
+
+    def test_existing_faults_absorb_links(self, mesh):
+        faults = make_link_fault_set(mesh, [((2, 2), (2, 3))])
+        mapped = links_to_node_faults(faults, existing_node_faults=[(2, 3)])
+        assert mapped == [(2, 3)]
+
+    def test_every_faulty_link_has_a_faulty_endpoint(self, mesh):
+        links = [((2, 2), (2, 3)), ((2, 2), (3, 2)), ((2, 2), (1, 2))]
+        faults = make_link_fault_set(mesh, links)
+        mapped = set(links_to_node_faults(faults))
+        # The greedy mapping always produces a cover of the faulty links and
+        # never needs more nodes than there are links.
+        assert all(a in mapped or b in mapped for a, b in faults.links)
+        assert len(mapped) <= faults.num_links
+
+    def test_isolated_nodes_always_included(self, mesh):
+        links = [((0, 0), (1, 0)), ((0, 0), (0, 1))]
+        faults = make_link_fault_set(mesh, links)
+        assert (0, 0) in links_to_node_faults(faults)
+
+    def test_mapped_faults_feed_the_constructions(self, mesh):
+        links = [((2, 2), (2, 3)), ((3, 3), (3, 4)), ((4, 2), (5, 2))]
+        node_faults = links_to_node_faults(make_link_fault_set(mesh, links))
+        construction = build_faulty_blocks(node_faults, topology=mesh)
+        assert set(node_faults) <= construction.grid.disabled_set()
+        assert construction.all_rectangular()

@@ -1,0 +1,111 @@
+"""Unit tests for repro.mesh.status.StatusGrid."""
+
+import pytest
+
+from repro.mesh.status import StatusGrid
+from repro.types import ActivityLabel, NodeKind, SafetyLabel
+
+
+class TestStatusGridBasics:
+    def test_fresh_grid_has_no_marks(self, mesh10):
+        grid = StatusGrid(mesh10)
+        assert grid.num_faulty == 0
+        assert grid.num_unsafe == 0
+        assert grid.num_disabled == 0
+        assert grid.num_enabled == 100
+
+    def test_constructor_faults(self, mesh10):
+        grid = StatusGrid(mesh10, faults=[(1, 1), (2, 2)])
+        assert grid.num_faulty == 2
+        assert grid.is_faulty((1, 1))
+        assert grid.is_unsafe((1, 1))
+        assert grid.is_disabled((1, 1))
+
+    def test_mark_faulty_outside_topology_raises(self, mesh10):
+        grid = StatusGrid(mesh10)
+        with pytest.raises(ValueError):
+            grid.mark_faulty((10, 0))
+
+    def test_faulty_node_cannot_be_enabled(self, mesh10):
+        grid = StatusGrid(mesh10, faults=[(3, 3)])
+        with pytest.raises(ValueError):
+            grid.mark_enabled((3, 3))
+
+    def test_mark_and_unmark_disabled(self, mesh10):
+        grid = StatusGrid(mesh10)
+        grid.mark_disabled((4, 4))
+        assert grid.is_disabled((4, 4))
+        grid.mark_enabled((4, 4))
+        assert not grid.is_disabled((4, 4))
+
+    def test_reset_labels_keeps_faults(self, mesh10):
+        grid = StatusGrid(mesh10, faults=[(1, 1)])
+        grid.mark_unsafe((2, 1))
+        grid.mark_disabled((2, 1))
+        grid.reset_labels()
+        assert grid.is_unsafe((1, 1))
+        assert not grid.is_unsafe((2, 1))
+        assert not grid.is_disabled((2, 1))
+
+
+class TestLabelsAndKinds:
+    def test_labels(self, mesh10):
+        grid = StatusGrid(mesh10, faults=[(0, 0)])
+        grid.mark_unsafe((1, 0))
+        assert grid.safety_label((1, 0)) is SafetyLabel.UNSAFE
+        assert grid.safety_label((5, 5)) is SafetyLabel.SAFE
+        assert grid.activity_label((0, 0)) is ActivityLabel.DISABLED
+        assert grid.activity_label((5, 5)) is ActivityLabel.ENABLED
+
+    def test_kind_colours(self, mesh10):
+        grid = StatusGrid(mesh10, faults=[(0, 0)])
+        grid.mark_disabled((1, 0))
+        assert grid.kind((0, 0)) is NodeKind.FAULTY
+        assert grid.kind((1, 0)) is NodeKind.DISABLED
+        assert grid.kind((5, 5)) is NodeKind.ENABLED
+
+
+class TestSetsAndCounters:
+    def test_sets(self, mesh10):
+        grid = StatusGrid(mesh10, faults=[(1, 1)])
+        grid.mark_unsafe((1, 2))
+        grid.mark_disabled((1, 2))
+        assert grid.fault_set() == {(1, 1)}
+        assert grid.unsafe_set() == {(1, 1), (1, 2)}
+        assert grid.disabled_set() == {(1, 1), (1, 2)}
+        assert grid.disabled_nonfaulty_set() == {(1, 2)}
+
+    def test_counters_consistent_with_sets(self, mesh10):
+        grid = StatusGrid(mesh10, faults=[(0, 0), (5, 5)])
+        grid.mark_disabled((0, 1))
+        assert grid.num_disabled == 3
+        assert grid.num_disabled_nonfaulty == 1
+        assert grid.num_enabled == 97
+
+    def test_copy_is_independent(self, mesh10):
+        grid = StatusGrid(mesh10, faults=[(2, 2)])
+        clone = grid.copy()
+        clone.mark_disabled((3, 3))
+        assert not grid.is_disabled((3, 3))
+        assert clone.is_faulty((2, 2))
+
+
+class TestRendering:
+    def test_render_symbols(self, mesh10):
+        grid = StatusGrid(mesh10, faults=[(0, 0)])
+        grid.mark_unsafe((1, 0))
+        grid.mark_disabled((1, 0))
+        grid.mark_unsafe((2, 0))
+        picture = grid.render(bounds=(0, 0, 2, 0))
+        assert picture == "# o +"
+
+    def test_render_rows_are_north_to_south(self, mesh10):
+        grid = StatusGrid(mesh10, faults=[(0, 1)])
+        picture = grid.render(bounds=(0, 0, 0, 1))
+        assert picture.splitlines() == ["#", "."]
+
+    def test_full_render_shape(self, mesh10):
+        grid = StatusGrid(mesh10)
+        lines = grid.render().splitlines()
+        assert len(lines) == 10
+        assert all(len(line.split()) == 10 for line in lines)

@@ -1,0 +1,103 @@
+"""Unit tests for repro.mesh.topology."""
+
+import pytest
+
+from repro.mesh.topology import Mesh2D, Torus2D
+
+
+class TestMesh2D:
+    def test_dimensions_and_node_count(self):
+        mesh = Mesh2D(7, 5)
+        assert mesh.num_nodes == 35
+        assert not mesh.is_square
+        assert Mesh2D(4, 4).is_square
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Mesh2D(0, 5)
+        with pytest.raises(ValueError):
+            Mesh2D(5, -1)
+
+    def test_contains(self, mesh10):
+        assert (0, 0) in mesh10
+        assert (9, 9) in mesh10
+        assert (10, 0) not in mesh10
+        assert (0, -1) not in mesh10
+
+    def test_validate_raises_for_outside_nodes(self, mesh10):
+        with pytest.raises(ValueError):
+            mesh10.validate((10, 3))
+
+    def test_nodes_enumeration(self):
+        mesh = Mesh2D(3, 2)
+        assert sorted(mesh.nodes()) == [
+            (0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1),
+        ]
+
+    def test_interior_degree_is_four(self, mesh10):
+        assert mesh10.degree((5, 5)) == 4
+
+    def test_corner_degree_is_two(self, mesh10):
+        assert mesh10.degree((0, 0)) == 2
+        assert mesh10.degree((9, 9)) == 2
+
+    def test_edge_degree_is_three(self, mesh10):
+        assert mesh10.degree((0, 5)) == 3
+
+    def test_neighbours_clipped_at_border(self, mesh10):
+        assert set(mesh10.neighbours((0, 0))) == {(1, 0), (0, 1)}
+
+    def test_dimension_neighbours_split(self, mesh10):
+        xs, ys = mesh10.dimension_neighbours((3, 0))
+        assert set(xs) == {(2, 0), (4, 0)}
+        assert set(ys) == {(3, 1)}  # (3, -1) does not exist
+
+    def test_adjacent_nodes_definition_2(self, mesh10):
+        assert len(mesh10.adjacent_nodes((5, 5))) == 8
+        assert len(mesh10.adjacent_nodes((0, 0))) == 3
+
+    def test_distance_is_manhattan(self, mesh10):
+        assert mesh10.distance((0, 0), (9, 9)) == 18
+        assert mesh10.distance((3, 4), (3, 4)) == 0
+
+    def test_diameter(self):
+        # The paper: an n x n mesh has a network diameter of 2(n - 1).
+        assert Mesh2D(10, 10).diameter == 18
+        assert Mesh2D(100, 100).diameter == 198
+
+    def test_boundary_detection(self, mesh10):
+        assert mesh10.is_boundary((0, 5))
+        assert mesh10.is_boundary((5, 9))
+        assert not mesh10.is_boundary((4, 4))
+
+    def test_normalise_drops_outside_coordinates(self, mesh10):
+        assert mesh10.normalise((3, 3)) == (3, 3)
+        assert mesh10.normalise((-1, 3)) is None
+        assert mesh10.normalise((3, 10)) is None
+
+
+class TestTorus2D:
+    def test_wraparound_neighbours(self, torus10):
+        assert set(torus10.neighbours((0, 0))) == {(1, 0), (0, 1), (9, 0), (0, 9)}
+
+    def test_every_node_has_degree_four(self, torus10):
+        assert all(torus10.degree(node) == 4 for node in torus10.nodes())
+
+    def test_normalise_wraps(self, torus10):
+        assert torus10.normalise((-1, 0)) == (9, 0)
+        assert torus10.normalise((10, 12)) == (0, 2)
+
+    def test_distance_uses_wraparound(self, torus10):
+        assert torus10.distance((0, 0), (9, 0)) == 1
+        assert torus10.distance((0, 0), (5, 5)) == 10
+
+    def test_diameter(self, torus10):
+        assert torus10.diameter == 10
+
+    def test_no_boundary_nodes(self, torus10):
+        assert not any(torus10.is_boundary(node) for node in torus10.nodes())
+
+    def test_adjacent_nodes_wrap(self, torus10):
+        adjacent = torus10.adjacent_nodes((0, 0))
+        assert (9, 9) in adjacent
+        assert len(adjacent) == 8

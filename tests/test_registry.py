@@ -1,0 +1,58 @@
+"""Tests for the experiment registry (repro.sim.registry)."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.sim.registry import (
+    EXPERIMENTS,
+    extension_experiments,
+    get_experiment,
+    paper_experiments,
+    render_index,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+class TestRegistryContents:
+    def test_every_paper_figure_panel_is_registered(self):
+        keys = {experiment.key for experiment in paper_experiments()}
+        assert keys == {"fig9a", "fig9b", "fig10a", "fig10b", "fig11a", "fig11b"}
+
+    def test_extensions_are_flagged(self):
+        assert all(not experiment.in_paper for experiment in extension_experiments())
+        assert len(extension_experiments()) >= 3
+
+    def test_lookup_and_error_message(self):
+        assert get_experiment("fig9a").paper_reference == "Figure 9(a)"
+        with pytest.raises(KeyError, match="fig9a"):
+            get_experiment("fig99")
+
+    def test_bench_targets_point_to_existing_files(self):
+        for experiment in EXPERIMENTS.values():
+            bench_file = experiment.bench_target.split("::")[0]
+            assert (REPO_ROOT / bench_file).exists(), bench_file
+
+    def test_modules_are_importable(self):
+        import importlib
+
+        for experiment in EXPERIMENTS.values():
+            for module in experiment.modules:
+                importlib.import_module(module)
+
+    def test_figure11_series_include_both_mfp_solutions(self):
+        assert set(get_experiment("fig11a").series) == {"FB", "FP", "CMFP", "DMFP"}
+
+
+class TestRendering:
+    def test_describe_mentions_bench_target(self):
+        text = get_experiment("fig10b").describe()
+        assert "bench_fig10_region_size.py" in text
+        assert "clustered" in text
+
+    def test_render_index_covers_everything(self):
+        text = render_index()
+        for key in EXPERIMENTS:
+            assert re.search(rf"^{key}:", text, flags=re.MULTILINE)

@@ -1,0 +1,74 @@
+"""Unit tests for the ASCII figure rendering (repro.sim.render)."""
+
+import pytest
+
+from repro.sim.figures import FigureSeries
+from repro.sim.render import render_ascii_chart, render_comparison_summary
+
+
+@pytest.fixture
+def figure():
+    return FigureSeries(
+        figure="9a",
+        distribution="random",
+        x_label="Number of faulty nodes",
+        y_label="# of disabled nodes",
+        x_values=[100, 200, 300, 400],
+        series={
+            "FB": [10.0, 40.0, 90.0, 160.0],
+            "FP": [5.0, 15.0, 30.0, 50.0],
+            "MFP": [1.0, 3.0, 6.0, 10.0],
+        },
+    )
+
+
+class TestAsciiChart:
+    def test_contains_title_axis_and_legend(self, figure):
+        chart = render_ascii_chart(figure)
+        assert "Figure 9a" in chart
+        assert "legend:" in chart
+        assert "FB" in chart and "MFP" in chart
+        assert "+" in chart and "-" in chart  # the x axis
+
+    def test_height_is_respected(self, figure):
+        chart = render_ascii_chart(figure, height=6)
+        # title + 6 chart rows + axis + ticks + legend
+        assert len(chart.splitlines()) == 10
+
+    def test_y_scale_labels_match_extremes(self, figure):
+        chart = render_ascii_chart(figure)
+        assert "160.00" in chart
+        assert "1.00" in chart
+
+    def test_highest_series_occupies_the_top_row(self, figure):
+        lines = render_ascii_chart(figure, height=8).splitlines()
+        top_row = lines[1]
+        assert "*" in top_row  # FB is the first series -> glyph '*'
+
+    def test_x_ticks_listed(self, figure):
+        chart = render_ascii_chart(figure)
+        assert "100" in chart and "400" in chart
+
+    def test_empty_figure(self):
+        empty = FigureSeries("10a", "random", "x", "y", [], {})
+        assert render_ascii_chart(empty) == "(empty figure)"
+
+    def test_overlapping_points_marked(self):
+        figure = FigureSeries(
+            "10a", "random", "x", "y", [1, 2],
+            {"A": [5.0, 5.0], "B": [5.0, 1.0]},
+        )
+        chart = render_ascii_chart(figure)
+        assert "&" in chart
+
+
+class TestComparisonSummary:
+    def test_lists_every_figure_and_series(self, figure):
+        other = FigureSeries(
+            "11a", "random", "x", "rounds", [100, 400],
+            {"CMFP": [2.0, 5.0], "DMFP": [10.0, 20.0]},
+        )
+        summary = render_comparison_summary([figure, other])
+        assert "Figure 9a" in summary and "Figure 11a" in summary
+        assert "FB=160.00" in summary
+        assert "DMFP=20.00" in summary

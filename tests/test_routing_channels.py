@@ -1,0 +1,79 @@
+"""Unit tests for virtual-channel assignment and deadlock-freedom checks."""
+
+import pytest
+
+from repro.mesh.topology import Mesh2D
+from repro.routing.channels import (
+    ABNORMAL_CHANNEL,
+    BASE_CHANNEL,
+    assign_channels,
+    channel_dependency_graph,
+    has_cyclic_dependency,
+)
+from repro.routing.extended_ecube import ExtendedECubeRouter
+from repro.types import MessageType
+
+
+@pytest.fixture
+def router(figure2_region):
+    return ExtendedECubeRouter(Mesh2D(10, 10), [figure2_region])
+
+
+class TestAssignChannels:
+    def test_fault_free_route_uses_only_base_channels(self):
+        router = ExtendedECubeRouter(Mesh2D(8, 8), [])
+        assignment = assign_channels(router.route((0, 0), (5, 5)))
+        assert not assignment.uses_abnormal_channels
+        assert all(channel[2] == BASE_CHANNEL for channel in assignment.channels)
+
+    def test_one_channel_per_hop(self, router):
+        result = router.route((1, 3), (6, 4))
+        assignment = assign_channels(result)
+        assert len(assignment.channels) == result.hops
+
+    def test_abnormal_hops_use_the_class_channel(self, router):
+        result = router.route((1, 3), (6, 4))
+        assignment = assign_channels(result)
+        abnormal = [c for c in assignment.channels if c[2] != BASE_CHANNEL]
+        assert abnormal, "the Figure 2 route must traverse the region"
+        # The message is WE-bound while circling the region.
+        assert all(c[2] == ABNORMAL_CHANNEL[MessageType.WE] for c in abnormal)
+
+    def test_channel_indices_are_distinct_per_class(self):
+        assert len(set(ABNORMAL_CHANNEL.values())) == 4
+        assert BASE_CHANNEL not in ABNORMAL_CHANNEL.values()
+
+
+class TestDependencyGraph:
+    def test_empty_graph_has_no_cycle(self):
+        assert not has_cyclic_dependency({})
+
+    def test_simple_cycle_detected(self):
+        a, b = ((0, 0), (1, 0), 0), ((1, 0), (0, 0), 0)
+        assert has_cyclic_dependency({a: {b}, b: {a}})
+
+    def test_chain_is_acyclic(self):
+        a, b, c = ((0, 0), (1, 0), 0), ((1, 0), (2, 0), 0), ((2, 0), (3, 0), 0)
+        assert not has_cyclic_dependency({a: {b}, b: {c}, c: set()})
+
+    def test_graph_from_routes_contains_consecutive_edges(self, router):
+        assignment = assign_channels(router.route((0, 3), (6, 3)))
+        graph = channel_dependency_graph([assignment])
+        assert len(graph) == len(set(assignment.channels))
+        first, second = assignment.channels[0], assignment.channels[1]
+        assert second in graph[first]
+
+    def test_extended_ecube_traffic_is_deadlock_free(self, router):
+        # Route a dense all-pairs sample around the Figure 2 polygon and
+        # check the channel dependency graph stays acyclic.
+        assignments = []
+        endpoints = [(0, 0), (9, 9), (0, 9), (9, 0), (1, 3), (6, 4), (5, 0), (0, 6)]
+        for source in endpoints:
+            for destination in endpoints:
+                if source == destination:
+                    continue
+                result = router.route(source, destination)
+                if result.delivered:
+                    assignments.append(assign_channels(result))
+        graph = channel_dependency_graph(assignments)
+        assert not has_cyclic_dependency(graph)

@@ -1,0 +1,64 @@
+"""Unit tests for the base e-cube routing."""
+
+import pytest
+
+from repro.routing.ecube import (
+    column_message_type,
+    ecube_next_hop,
+    ecube_path,
+    initial_message_type,
+    manhattan_distance,
+)
+from repro.types import MessageType
+
+
+class TestMessageTypes:
+    def test_initial_types(self):
+        assert initial_message_type((1, 3), (6, 4)) is MessageType.WE
+        assert initial_message_type((6, 4), (1, 3)) is MessageType.EW
+        assert initial_message_type((2, 1), (2, 5)) is MessageType.SN
+        assert initial_message_type((2, 5), (2, 1)) is MessageType.NS
+
+    def test_column_types(self):
+        assert column_message_type((6, 3), (6, 4)) is MessageType.SN
+        assert column_message_type((6, 4), (6, 3)) is MessageType.NS
+
+    def test_self_message_defaults(self):
+        assert initial_message_type((3, 3), (3, 3)) is MessageType.NS
+
+
+class TestNextHopAndPath:
+    def test_next_hop_prefers_x_dimension(self):
+        assert ecube_next_hop((1, 3), (6, 4)) == (2, 3)
+        assert ecube_next_hop((6, 3), (6, 4)) == (6, 4)
+        assert ecube_next_hop((6, 4), (6, 4)) is None
+
+    def test_next_hop_westwards_and_southwards(self):
+        assert ecube_next_hop((5, 5), (2, 5)) == (4, 5)
+        assert ecube_next_hop((2, 5), (2, 2)) == (2, 4)
+
+    def test_paper_example_path(self):
+        # From (1,3) to (6,4): along the row to (6,3), then up the column.
+        path = ecube_path((1, 3), (6, 4))
+        assert path[0] == (1, 3)
+        assert path[-1] == (6, 4)
+        assert (6, 3) in path
+        assert len(path) == manhattan_distance((1, 3), (6, 4)) + 1
+
+    def test_path_to_self(self):
+        assert ecube_path((4, 4), (4, 4)) == [(4, 4)]
+
+    def test_path_hops_are_adjacent(self):
+        path = ecube_path((0, 0), (5, 7))
+        for a, b in zip(path, path[1:]):
+            assert manhattan_distance(a, b) == 1
+
+    def test_x_before_y_ordering(self):
+        path = ecube_path((0, 0), (3, 3))
+        # All x movement happens before any y movement.
+        ys = [node[1] for node in path[:4]]
+        assert ys == [0, 0, 0, 0]
+
+    def test_manhattan_distance(self):
+        assert manhattan_distance((0, 0), (3, 4)) == 7
+        assert manhattan_distance((2, 2), (2, 2)) == 0

@@ -1,0 +1,50 @@
+"""Unit tests for the superseding rule (repro.core.superseding)."""
+
+from repro.core.superseding import disabled_nodes, pile_statuses, supersede
+from repro.types import NodeKind
+
+
+class TestSupersede:
+    def test_black_beats_gray_and_white(self):
+        assert supersede(NodeKind.FAULTY, NodeKind.DISABLED) is NodeKind.FAULTY
+        assert supersede(NodeKind.DISABLED, NodeKind.FAULTY) is NodeKind.FAULTY
+        assert supersede(NodeKind.ENABLED, NodeKind.FAULTY) is NodeKind.FAULTY
+
+    def test_gray_beats_white(self):
+        assert supersede(NodeKind.ENABLED, NodeKind.DISABLED) is NodeKind.DISABLED
+        assert supersede(NodeKind.DISABLED, NodeKind.ENABLED) is NodeKind.DISABLED
+
+    def test_same_status_is_stable(self):
+        for kind in NodeKind:
+            assert supersede(kind, kind) is kind
+
+
+class TestPileStatuses:
+    def test_empty_pile(self):
+        assert pile_statuses([]) == {}
+
+    def test_single_layer_passes_through(self):
+        layer = {(0, 0): NodeKind.FAULTY, (1, 0): NodeKind.DISABLED}
+        assert pile_statuses([layer]) == layer
+
+    def test_conflicts_resolved_in_any_order(self):
+        a = {(0, 0): NodeKind.DISABLED, (1, 1): NodeKind.ENABLED}
+        b = {(0, 0): NodeKind.FAULTY, (1, 1): NodeKind.DISABLED}
+        expected = {(0, 0): NodeKind.FAULTY, (1, 1): NodeKind.DISABLED}
+        assert pile_statuses([a, b]) == expected
+        assert pile_statuses([b, a]) == expected
+
+    def test_nodes_from_different_layers_are_merged(self):
+        a = {(0, 0): NodeKind.DISABLED}
+        b = {(5, 5): NodeKind.FAULTY}
+        piled = pile_statuses([a, b])
+        assert piled[(0, 0)] is NodeKind.DISABLED
+        assert piled[(5, 5)] is NodeKind.FAULTY
+
+    def test_disabled_nodes_helper(self):
+        piled = {
+            (0, 0): NodeKind.FAULTY,
+            (1, 0): NodeKind.DISABLED,
+            (2, 0): NodeKind.ENABLED,
+        }
+        assert disabled_nodes(piled) == {(0, 0), (1, 0)}

@@ -1,0 +1,112 @@
+"""Edge-case and torus-topology tests for the constructions.
+
+The paper states that "we use meshes to represent both meshes and tori";
+these tests exercise the wraparound code paths and the degenerate shapes
+(thin meshes, saturated meshes, border-hugging fault patterns) that the
+random sweeps rarely hit.
+"""
+
+import pytest
+
+from repro.core.faulty_block import build_faulty_blocks
+from repro.core.mfp import build_minimum_polygons
+from repro.core.sub_minimum import build_sub_minimum_polygons
+from repro.distributed.dmfp import build_minimum_polygons_distributed
+from repro.faults.scenario import generate_scenario
+from repro.mesh.topology import Mesh2D, Torus2D
+
+
+class TestTorusConstructions:
+    def test_wraparound_block_forms_across_the_seam(self):
+        torus = Torus2D(8, 8)
+        # Two faults diagonal across the wraparound corner.
+        construction = build_faulty_blocks([(0, 0), (7, 7)], topology=torus)
+        disabled = construction.grid.disabled_set()
+        assert {(0, 0), (7, 7), (0, 7), (7, 0)} <= disabled
+
+    def test_mesh_keeps_the_same_faults_separate(self):
+        mesh = Mesh2D(8, 8)
+        construction = build_faulty_blocks([(0, 0), (7, 7)], topology=mesh)
+        assert construction.grid.num_disabled_nonfaulty == 0
+
+    def test_fp_on_torus_releases_wraparound_fills(self):
+        torus = Torus2D(8, 8)
+        construction = build_sub_minimum_polygons([(0, 0), (7, 7)], topology=torus)
+        # The two non-faulty corner fills have two enabled neighbours each.
+        assert construction.grid.num_disabled_nonfaulty == 0
+
+    def test_constructions_cover_faults_on_torus_scenarios(self):
+        scenario = generate_scenario(
+            num_faults=50, width=20, model="clustered", seed=9, torus=True
+        )
+        topology = scenario.topology()
+        for construction in (
+            build_faulty_blocks(scenario.faults, topology=topology),
+            build_sub_minimum_polygons(scenario.faults, topology=topology),
+            build_minimum_polygons(scenario.faults, topology=topology),
+        ):
+            assert set(scenario.faults) <= construction.grid.disabled_set()
+
+    def test_mfp_still_no_worse_than_fb_on_torus(self):
+        scenario = generate_scenario(
+            num_faults=60, width=20, model="clustered", seed=3, torus=True
+        )
+        topology = scenario.topology()
+        fb = build_faulty_blocks(scenario.faults, topology=topology)
+        mfp = build_minimum_polygons(scenario.faults, topology=topology)
+        assert mfp.num_disabled_nonfaulty <= fb.num_disabled_nonfaulty
+
+
+class TestDegenerateMeshes:
+    def test_single_row_mesh(self):
+        mesh = Mesh2D(10, 1)
+        construction = build_minimum_polygons([(2, 0), (3, 0), (7, 0)], topology=mesh)
+        assert construction.grid.num_disabled_nonfaulty == 0
+        assert len(construction.regions) == 2
+
+    def test_single_column_mesh(self):
+        mesh = Mesh2D(1, 10)
+        construction = build_faulty_blocks([(0, 1), (0, 5)], topology=mesh)
+        assert construction.all_rectangular()
+        assert len(construction.regions) == 2
+
+    def test_single_node_mesh(self):
+        mesh = Mesh2D(1, 1)
+        construction = build_minimum_polygons([(0, 0)], topology=mesh)
+        assert construction.grid.num_disabled == 1
+
+    def test_fully_faulty_mesh(self):
+        mesh = Mesh2D(4, 4)
+        faults = list(mesh.nodes())
+        for builder in (
+            build_faulty_blocks,
+            build_sub_minimum_polygons,
+            build_minimum_polygons,
+        ):
+            construction = builder(faults, topology=mesh)
+            assert construction.grid.num_disabled == 16
+            assert construction.grid.num_disabled_nonfaulty == 0
+            assert len(construction.regions) == 1
+
+    def test_fault_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            build_faulty_blocks([(10, 0)], width=5)
+
+    def test_border_hugging_pattern(self):
+        # A fault chain along the whole western border of a small mesh.
+        mesh = Mesh2D(6, 6)
+        faults = [(0, y) for y in range(6)] + [(1, 2)]
+        mfp = build_minimum_polygons(faults, topology=mesh)
+        dmfp = build_minimum_polygons_distributed(faults, topology=mesh)
+        assert mfp.grid.disabled_set() == dmfp.grid.disabled_set()
+        assert mfp.all_orthogonal_convex()
+
+    def test_distributed_construction_with_component_spanning_the_mesh(self):
+        # One component stretching from border to border: the geometric ring
+        # walk uses virtual off-mesh positions but the resulting statuses
+        # stay inside the mesh.
+        mesh = Mesh2D(7, 7)
+        faults = [(x, 3) for x in range(7)] + [(3, 4)]
+        dmfp = build_minimum_polygons_distributed(faults, topology=mesh)
+        assert dmfp.grid.disabled_set() == set(faults)
+        assert all(mesh.contains(node) for node in dmfp.grid.disabled_set())
