@@ -12,7 +12,7 @@ import pytest
 from repro.sim.experiments import run_sweep
 from repro.sim.figures import figure10_series, format_series_table
 
-from conftest import record_result
+from conftest import WORKERS, record_result
 
 
 def _run_panel(distribution, fault_counts, trials, mesh_width):
@@ -23,6 +23,7 @@ def _run_panel(distribution, fault_counts, trials, mesh_width):
         distribution=distribution,
         include_distributed=False,
         include_rounds=False,
+        workers=WORKERS,
     )
 
 

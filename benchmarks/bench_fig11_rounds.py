@@ -19,7 +19,7 @@ import pytest
 from repro.sim.experiments import run_sweep
 from repro.sim.figures import figure11_series, format_series_table
 
-from conftest import record_result
+from conftest import WORKERS, record_result
 
 
 def _run_panel(distribution, fault_counts, trials, mesh_width):
@@ -30,6 +30,7 @@ def _run_panel(distribution, fault_counts, trials, mesh_width):
         distribution=distribution,
         include_distributed=True,
         include_rounds=True,
+        workers=WORKERS,
     )
 
 

@@ -29,6 +29,10 @@ MESH_WIDTH = 100
 #: Trials per sweep point (the paper averages many runs; 2 keeps CI quick).
 TRIALS = int(os.environ.get("REPRO_BENCH_TRIALS", "2"))
 
+#: Worker processes for the sweep trials (repro.api.SweepExecutor); 1 keeps
+#: the timing benchmarks single-process, raise it for faster figure sweeps.
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 

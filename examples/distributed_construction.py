@@ -20,11 +20,10 @@ Run with::
 
 from __future__ import annotations
 
-from repro import build_minimum_polygons, find_components, generate_scenario
-from repro.distributed import (
-    build_minimum_polygons_distributed,
-    construct_boundary_ring,
-)
+from repro import generate_scenario
+from repro.api import MeshSession
+from repro.core.components import find_components
+from repro.distributed import construct_boundary_ring
 from repro.distributed.notification import plan_notifications
 
 
@@ -57,9 +56,9 @@ def network_scale() -> None:
     print("Network-scale distributed construction")
     print("=" * 40)
     scenario = generate_scenario(num_faults=90, width=40, model="clustered", seed=17)
-    topology = scenario.topology()
-    distributed = build_minimum_polygons_distributed(scenario.faults, topology=topology)
-    centralized = build_minimum_polygons(scenario.faults, topology=topology)
+    session = MeshSession.from_scenario(scenario)
+    distributed = session.build("dmfp").raw
+    centralized = session.build("cmfp").raw
     print(f"scenario: {scenario.describe()}")
     print(f"components: {len(distributed.components)}")
     print(f"non-faulty nodes disabled: {distributed.num_disabled_nonfaulty}")

@@ -1,11 +1,13 @@
 #!/usr/bin/env python
 """Quickstart: build all three fault-region models on one fault pattern.
 
-Generates a clustered fault pattern on a small mesh, constructs the
-rectangular faulty blocks (FB), the sub-minimum faulty polygons (FP) and
-the minimum faulty polygons (MFP), prints an ASCII picture of each result
-(``#`` = faulty, ``o`` = non-faulty but disabled) and summarises how many
-non-faulty nodes each model sacrifices.
+Opens a :class:`repro.api.MeshSession` on a small mesh, injects a clustered
+fault pattern, builds the rectangular faulty blocks (FB), the sub-minimum
+faulty polygons (FP) and the minimum faulty polygons (MFP) through the
+construction registry, prints an ASCII picture of each result (``#`` =
+faulty, ``o`` = non-faulty but disabled) and summarises how many non-faulty
+nodes each model sacrifices.  A final incremental step shows the session
+only recomputing the fault components touched by new faults.
 
 Run with::
 
@@ -14,52 +16,51 @@ Run with::
 
 from __future__ import annotations
 
-from repro import (
-    build_faulty_blocks,
-    build_minimum_polygons,
-    build_sub_minimum_polygons,
-    generate_scenario,
-)
+from repro import generate_scenario
+from repro.api import MeshSession, get_construction
 
 
 def main() -> None:
     scenario = generate_scenario(
         num_faults=30, width=18, model="clustered", seed=11
     )
-    topology = scenario.topology()
+    session = MeshSession.from_scenario(scenario)
     print(f"Scenario: {scenario.describe()}\n")
 
-    constructions = {
-        "Rectangular faulty blocks (FB)": build_faulty_blocks(
-            scenario.faults, topology=topology
-        ),
-        "Sub-minimum faulty polygons (FP)": build_sub_minimum_polygons(
-            scenario.faults, topology=topology
-        ),
-        "Minimum faulty polygons (MFP)": build_minimum_polygons(
-            scenario.faults, topology=topology
-        ),
-    }
-
-    for title, construction in constructions.items():
+    for key in ("fb", "fp", "mfp"):
+        spec = get_construction(key)
+        title = f"{spec.description} ({spec.label})"
+        construction = session.build(key)
         print(title)
         print("-" * len(title))
         print(construction.grid.render())
         print(
-            f"regions: {len(construction.regions)}   "
-            f"non-faulty nodes disabled: {construction.grid.num_disabled_nonfaulty}   "
+            f"regions: {construction.num_regions}   "
+            f"non-faulty nodes disabled: {construction.num_disabled_nonfaulty}   "
             f"rounds: {construction.rounds}"
         )
         print()
 
-    fb = constructions["Rectangular faulty blocks (FB)"]
-    mfp = constructions["Minimum faulty polygons (MFP)"]
-    if fb.grid.num_disabled_nonfaulty:
-        saving = 1 - mfp.grid.num_disabled_nonfaulty / fb.grid.num_disabled_nonfaulty
+    fb = session.build("fb")
+    mfp = session.build("mfp")
+    if fb.num_disabled_nonfaulty:
+        saving = 1 - mfp.num_disabled_nonfaulty / fb.num_disabled_nonfaulty
         print(
             f"The minimum faulty polygons re-enable "
             f"{saving:.0%} of the non-faulty nodes the faulty blocks sacrificed."
         )
+
+    # Sequential fault insertion, as in the paper's simulation: the session
+    # merges the new faults into the component partition incrementally and
+    # reuses the cached polygons of every untouched component.
+    session.add_faults([(0, 0), (0, 1), (17, 17)])
+    updated = session.build("mfp")
+    hits = session.cache_info["component_hits"]
+    print(
+        f"\nAfter 3 more faults: {updated.num_regions} regions, "
+        f"{updated.num_disabled_nonfaulty} non-faulty nodes disabled "
+        f"({hits} component-cache hits so far)."
+    )
 
 
 if __name__ == "__main__":

@@ -17,12 +17,12 @@ from __future__ import annotations
 
 import argparse
 
-from repro import (
+from repro.api import SweepExecutor
+from repro.sim.figures import (
     figure9_series,
     figure10_series,
     figure11_series,
     format_series_table,
-    run_sweep,
 )
 
 
@@ -34,6 +34,10 @@ def main() -> None:
         help="run the full paper-scale sweep (slower)",
     )
     parser.add_argument("--trials", type=int, default=None, help="trials per point")
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the sweep trials (default: serial)",
+    )
     args = parser.parse_args()
 
     if args.full:
@@ -48,12 +52,11 @@ def main() -> None:
     for distribution in ("random", "clustered"):
         print(f"\n### {distribution} fault distribution "
               f"({width}x{width} mesh, {trials} trials per point) ###\n")
-        points = run_sweep(
-            fault_counts=fault_counts,
-            trials=trials,
+        points = SweepExecutor(workers=args.workers).run(
+            fault_counts,
+            trials,
             width=width,
             distribution=distribution,
-            include_distributed=True,
             include_rounds=True,
         )
         print(format_series_table(

@@ -18,15 +18,8 @@ Run with::
 
 from __future__ import annotations
 
-from repro import (
-    ExtendedECubeRouter,
-    Mesh2D,
-    RoutingSimulator,
-    build_faulty_blocks,
-    build_minimum_polygons,
-    build_sub_minimum_polygons,
-    generate_scenario,
-)
+from repro import ExtendedECubeRouter, Mesh2D, RoutingSimulator, generate_scenario
+from repro.api import MeshSession
 
 
 def figure2_example() -> None:
@@ -46,15 +39,12 @@ def model_comparison() -> None:
     print("Routing impact of the fault-region model")
     print("=" * 50)
     scenario = generate_scenario(num_faults=120, width=40, model="clustered", seed=5)
-    topology = scenario.topology()
-    constructions = {
-        "FB": build_faulty_blocks(scenario.faults, topology=topology),
-        "FP": build_sub_minimum_polygons(scenario.faults, topology=topology),
-        "MFP": build_minimum_polygons(scenario.faults, topology=topology),
-    }
+    session = MeshSession.from_scenario(scenario)
+    constructions = {key: session.build(key) for key in ("fb", "fp", "mfp")}
     print(f"{'model':>5} {'enabled':>8} {'delivery':>9} {'mean hops':>10} {'detour':>7}")
-    for name, construction in constructions.items():
-        simulator = RoutingSimulator(topology, construction.regions, seed=1)
+    for construction in constructions.values():
+        name = construction.label
+        simulator = RoutingSimulator.from_construction(construction, seed=1)
         stats = simulator.run(500)
         print(
             f"{name:>5} {simulator.num_enabled:>8} {stats.delivery_rate:>9.3f} "

@@ -14,16 +14,29 @@ minimum polygons, the fault-injection models and mesh substrate they run
 on, the extended e-cube routing application, and the experiment harness
 that regenerates the paper's Figures 9-11.
 
+The canonical public surface is :mod:`repro.api`: a construction registry
+(string keys ``"fb"``/``"fp"``/``"mfp"``/``"cmfp"``/``"dmfp"`` with one
+uniform build protocol), the incremental :class:`~repro.api.MeshSession`
+and the parallel :class:`~repro.api.SweepExecutor`.
+
 Quickstart
 ----------
 
->>> from repro import generate_scenario, build_faulty_blocks, build_minimum_polygons
+>>> from repro import MeshSession, generate_scenario
 >>> scenario = generate_scenario(num_faults=60, width=40, model="clustered", seed=7)
->>> fb = build_faulty_blocks(scenario.faults, topology=scenario.topology())
->>> mfp = build_minimum_polygons(scenario.faults, topology=scenario.topology())
+>>> session = MeshSession.from_scenario(scenario)
+>>> fb = session.build("fb")
+>>> mfp = session.build("mfp")
 >>> mfp.num_disabled_nonfaulty <= fb.num_disabled_nonfaulty
 True
+
+The historical loose construction functions (``build_faulty_blocks`` and
+friends) remain importable from the top level as deprecation shims; new
+code should go through :mod:`repro.api`.
 """
+
+import warnings as _warnings
+from importlib import import_module as _import_module
 
 from repro.types import (
     ActivityLabel,
@@ -50,6 +63,7 @@ from repro.faults import (
     ClusteredFaultModel,
     FaultScenario,
     RandomFaultModel,
+    derive_trial_seed,
     generate_scenario,
     make_fault_model,
     sweep_scenarios,
@@ -62,31 +76,98 @@ from repro.core import (
     SubMinimumConstruction,
     apply_labelling_scheme_1,
     apply_labelling_scheme_2,
-    build_faulty_blocks,
-    build_minimum_polygons,
-    build_minimum_polygons_via_labelling,
-    build_sub_minimum_polygons,
-    component_minimum_polygon,
     extract_regions,
     find_components,
 )
 from repro.distributed import (
     DistributedMinimumPolygonConstruction,
-    build_minimum_polygons_distributed,
     construct_boundary_ring,
 )
 from repro.routing import ExtendedECubeRouter, RoutingSimulator, ecube_path
 from repro.sim import (
     FigureSeries,
-    compare_constructions,
     figure9_series,
     figure10_series,
     figure11_series,
     format_series_table,
-    run_sweep,
+)
+from repro import api
+from repro.api import (
+    ConstructionResult,
+    ConstructionSpec,
+    MeshSession,
+    SweepExecutor,
+    available_constructions,
+    get_construction,
+    register_construction,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Legacy loose functions kept as deprecation shims: name -> (module, attr,
+#: replacement hint).  They resolve lazily via the module __getattr__ below
+#: and emit a DeprecationWarning on first access per import site.
+_DEPRECATED = {
+    "build_faulty_blocks": (
+        "repro.core.faulty_block",
+        "build_faulty_blocks",
+        'repro.api.get_construction("fb").build(scenario)',
+    ),
+    "build_sub_minimum_polygons": (
+        "repro.core.sub_minimum",
+        "build_sub_minimum_polygons",
+        'repro.api.get_construction("fp").build(scenario)',
+    ),
+    "build_minimum_polygons": (
+        "repro.core.mfp",
+        "build_minimum_polygons",
+        'repro.api.get_construction("mfp").build(scenario)',
+    ),
+    "build_minimum_polygons_via_labelling": (
+        "repro.core.mfp",
+        "build_minimum_polygons_via_labelling",
+        'repro.api.get_construction("mfp").build(scenario, via_labelling=True)',
+    ),
+    "component_minimum_polygon": (
+        "repro.core.mfp",
+        "component_minimum_polygon",
+        "repro.api.MeshSession.component_hull(component)",
+    ),
+    "build_minimum_polygons_distributed": (
+        "repro.distributed.dmfp",
+        "build_minimum_polygons_distributed",
+        'repro.api.get_construction("dmfp").build(scenario)',
+    ),
+    "compare_constructions": (
+        "repro.sim.experiments",
+        "compare_constructions",
+        "repro.api.collect_scenario_metrics(scenario)",
+    ),
+    "run_sweep": (
+        "repro.sim.experiments",
+        "run_sweep",
+        "repro.api.SweepExecutor(...).run(fault_counts, trials)",
+    ),
+}
+
+
+def __getattr__(name):
+    """Resolve deprecated top-level names lazily, with a warning."""
+    if name in _DEPRECATED:
+        module, attr, replacement = _DEPRECATED[name]
+        _warnings.warn(
+            f"repro.{name} is deprecated; use {replacement} instead "
+            f"(the object itself still lives in {module})",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(_import_module(module), attr)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(list(globals()) + list(_DEPRECATED))
+
 
 __all__ = [
     # types
@@ -118,23 +199,27 @@ __all__ = [
     "FaultScenario",
     "generate_scenario",
     "sweep_scenarios",
-    # core constructions
+    "derive_trial_seed",
+    # canonical API
+    "api",
+    "MeshSession",
+    "SweepExecutor",
+    "ConstructionSpec",
+    "ConstructionResult",
+    "get_construction",
+    "available_constructions",
+    "register_construction",
+    # core constructions (result types and analysis helpers)
     "apply_labelling_scheme_1",
     "apply_labelling_scheme_2",
     "find_components",
     "FaultComponent",
     "FaultRegion",
     "extract_regions",
-    "build_faulty_blocks",
     "FaultyBlockConstruction",
-    "build_sub_minimum_polygons",
     "SubMinimumConstruction",
-    "build_minimum_polygons",
-    "build_minimum_polygons_via_labelling",
-    "component_minimum_polygon",
     "MinimumPolygonConstruction",
     # distributed
-    "build_minimum_polygons_distributed",
     "DistributedMinimumPolygonConstruction",
     "construct_boundary_ring",
     # routing
@@ -142,12 +227,19 @@ __all__ = [
     "ExtendedECubeRouter",
     "RoutingSimulator",
     # simulation harness
-    "compare_constructions",
-    "run_sweep",
     "FigureSeries",
     "figure9_series",
     "figure10_series",
     "figure11_series",
     "format_series_table",
+    # deprecated shims (resolved via __getattr__ with a DeprecationWarning)
+    "build_faulty_blocks",
+    "build_sub_minimum_polygons",
+    "build_minimum_polygons",
+    "build_minimum_polygons_via_labelling",
+    "component_minimum_polygon",
+    "build_minimum_polygons_distributed",
+    "compare_constructions",
+    "run_sweep",
     "__version__",
 ]

@@ -1,0 +1,80 @@
+"""repro.api -- the canonical public surface of the reproduction package.
+
+Three layers, replacing the ~50 loose functions the package historically
+exported from its top level:
+
+* :mod:`repro.api.registry` -- a pluggable registry mapping string keys
+  (``"fb"``, ``"fp"``, ``"mfp"``, ``"cmfp"``, ``"dmfp"``) to
+  :class:`ConstructionSpec` objects with one uniform
+  ``build(scenario, *, options) -> ConstructionResult`` protocol and typed
+  option dataclasses.
+* :mod:`repro.api.session` -- :class:`MeshSession`, a stateful mesh that
+  supports incremental ``add_faults`` / ``clear`` with per-construction
+  result caching and dirty-component invalidation (only components touched
+  by new faults are recomputed).
+* :mod:`repro.api.executor` -- :class:`SweepExecutor`, which fans sweep
+  trials out over ``multiprocessing`` with deterministic per-trial seeds
+  and pluggable reducers.
+
+Quickstart::
+
+    from repro.api import MeshSession, SweepExecutor, get_construction
+
+    session = MeshSession(width=100)
+    session.add_faults([(10, 10), (10, 11), (40, 40)])
+    mfp = session.build("mfp")
+    print(mfp.num_disabled_nonfaulty, mfp.rounds)
+
+    points = SweepExecutor(workers=4).run([100, 200, 400], trials=3)
+"""
+
+from repro.api.registry import (
+    ConstructionOptions,
+    ConstructionResult,
+    ConstructionSpec,
+    DistributedOptions,
+    FaultyBlockOptions,
+    MinimumPolygonOptions,
+    SubMinimumOptions,
+    available_constructions,
+    build_construction,
+    construction_keys,
+    get_construction,
+    register_construction,
+    register_incremental,
+)
+from repro.api.session import MeshSession
+from repro.api.executor import (
+    DEFAULT_MODELS,
+    SweepExecutor,
+    TrialSpec,
+    collect_scenario_metrics,
+    run_trial,
+    sweep_point_reducer,
+)
+
+__all__ = [
+    # registry
+    "ConstructionSpec",
+    "ConstructionResult",
+    "ConstructionOptions",
+    "FaultyBlockOptions",
+    "SubMinimumOptions",
+    "MinimumPolygonOptions",
+    "DistributedOptions",
+    "register_construction",
+    "register_incremental",
+    "get_construction",
+    "available_constructions",
+    "construction_keys",
+    "build_construction",
+    # session
+    "MeshSession",
+    # executor
+    "SweepExecutor",
+    "TrialSpec",
+    "DEFAULT_MODELS",
+    "collect_scenario_metrics",
+    "run_trial",
+    "sweep_point_reducer",
+]

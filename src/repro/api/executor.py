@@ -1,0 +1,288 @@
+"""Parallel sweep execution over fault scenarios.
+
+The paper's evaluation repeats every construction over a fault-count sweep
+(100..800 faults on a 100x100 mesh) with several independently seeded
+trials per point.  Trials are embarrassingly parallel -- they share no
+state beyond their deterministic seeds -- so :class:`SweepExecutor` fans
+them out over a ``multiprocessing`` pool and reduces the per-trial
+:class:`~repro.sim.metrics.ScenarioMetrics` into one record per sweep
+point with a pluggable reducer.
+
+Determinism: every trial's seed comes from
+:func:`repro.faults.scenario.derive_trial_seed`, which spaces seeds by a
+large prime stride, so a sweep produces identical metrics whether it runs
+serially, across 2 workers or across 32 (asserted by
+``tests/test_api_executor.py``).
+
+``repro.sim.experiments.run_sweep`` is a thin wrapper over this class and
+keeps its historical serial default (``workers=1``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.api.registry import (
+    ConstructionSpec,
+    _build_cmfp,
+    _build_mfp,
+    get_construction,
+    register_construction,
+)
+from repro.faults.scenario import (
+    FaultScenario,
+    derive_trial_seed,
+    generate_scenario,
+)
+
+#: Construction keys run by default (the four models the paper compares;
+#: CMFP is the centralized MFP re-reported with its emulation rounds).
+DEFAULT_MODELS: Tuple[str, ...] = ("fb", "fp", "mfp", "cmfp", "dmfp")
+
+#: A reducer folds the trial metrics of one sweep point into one record.
+Reducer = Callable[[int, str, List[Any]], Any]
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """Everything one worker needs to run one trial (picklable)."""
+
+    num_faults: int
+    seed: int
+    width: int = 100
+    height: Optional[int] = None
+    distribution: str = "random"
+    torus: bool = False
+    cluster_factor: float = 2.0
+    models: Tuple[str, ...] = DEFAULT_MODELS
+    include_rounds: bool = True
+    #: The resolved specs of ``models``, carried so that workers spawned in
+    #: a fresh interpreter (non-fork start methods) can re-register custom
+    #: constructions; empty means "resolve from the worker's registry".
+    specs: Tuple[ConstructionSpec, ...] = ()
+
+
+def collect_scenario_metrics(
+    scenario: FaultScenario,
+    models: Sequence[str] = DEFAULT_MODELS,
+    include_rounds: bool = True,
+):
+    """Run the requested constructions on one scenario via the registry.
+
+    ``mfp`` and ``cmfp`` share a single build (they are the same
+    construction, re-reported under the CMFP label for the Figure 11 round
+    comparison); *include_rounds* toggles its round emulation.
+    """
+    from repro.sim.metrics import ScenarioMetrics
+
+    topology = scenario.topology()
+    metrics = ScenarioMetrics(
+        num_faults=scenario.num_faults,
+        distribution=scenario.model,
+        seed=scenario.seed,
+    )
+    shared_mfp = None
+    mfp_spec = get_construction("mfp")
+    sharable = (_build_mfp, _build_cmfp) if mfp_spec.builder is _build_mfp else ()
+    for key in models:
+        spec = get_construction(key)
+        # The built-in MFP and CMFP rows describe the same construction, so
+        # one build serves both (with *include_rounds* deciding whether the
+        # round emulation runs, as the legacy harness did).  A spec replaced
+        # through the registry opts out of the sharing and builds itself.
+        if spec.builder in sharable:
+            if shared_mfp is None:
+                shared_mfp = mfp_spec.build(
+                    scenario.faults, topology, compute_rounds=include_rounds
+                )
+            result = shared_mfp
+        else:
+            # Forward the round toggle to any spec whose options understand
+            # it (e.g. a replacement MFP), so include_rounds=False keeps
+            # skipping the emulation cost the flag exists to avoid.
+            overrides = {}
+            if any(
+                f.name == "compute_rounds"
+                for f in dataclasses.fields(spec.options_type)
+            ):
+                overrides["compute_rounds"] = include_rounds
+            result = spec.build(scenario.faults, topology, **overrides)
+        metrics.add(result.metrics(num_faults=scenario.num_faults, label=spec.label))
+    return metrics
+
+
+def run_trial(spec: TrialSpec):
+    """Generate one scenario and collect its metrics (worker entry point)."""
+    for construction_spec in spec.specs:
+        # A spawned worker starts from a fresh registry holding only the
+        # built-in models; re-register anything the parent plugged in.  The
+        # builder comparison is by reference: specs pickle their builders as
+        # module-level names, so built-ins resolve to the same function and
+        # are left alone (keeping their incremental builders registered).
+        try:
+            registered = get_construction(construction_spec.key)
+        except KeyError:
+            register_construction(construction_spec)
+        else:
+            if registered.builder is not construction_spec.builder:
+                register_construction(construction_spec, replace=True)
+    scenario = generate_scenario(
+        num_faults=spec.num_faults,
+        width=spec.width,
+        height=spec.height,
+        model=spec.distribution,
+        seed=spec.seed,
+        torus=spec.torus,
+        cluster_factor=spec.cluster_factor,
+    )
+    return collect_scenario_metrics(
+        scenario, models=spec.models, include_rounds=spec.include_rounds
+    )
+
+
+def _custom_fb_for_tests(faults, topology, options):
+    """Module-level custom builder used by the worker-registry tests.
+
+    Lives here (not in the test file) so that it pickles by reference in
+    spawned workers the same way a real user-defined builder would.
+    """
+    from repro.core.faulty_block import build_faulty_blocks
+
+    return build_faulty_blocks(faults, topology=topology)
+
+
+def sweep_point_reducer(num_faults: int, distribution: str, trials: List[Any]):
+    """Default reducer: fold trial metrics into a ``SweepPoint`` average."""
+    from repro.sim.metrics import SweepPoint
+
+    point = SweepPoint(num_faults=num_faults, distribution=distribution)
+    for metrics in trials:
+        point.add(metrics)
+    return point
+
+
+class SweepExecutor:
+    """Run construction sweeps, optionally fanned out over processes.
+
+    Parameters
+    ----------
+    models:
+        Registry keys of the constructions to run per trial (validated
+        eagerly so typos fail before any work is dispatched).
+    workers:
+        Process count.  ``1`` (the default) runs serially in-process;
+        ``None`` uses every available CPU.
+    reducer:
+        Per-point reduction ``reducer(num_faults, distribution, trial_metrics)``;
+        defaults to :func:`sweep_point_reducer` (mean-aggregating
+        ``SweepPoint``).  Runs in the parent process, so it does not need
+        to be picklable.
+    """
+
+    def __init__(
+        self,
+        models: Sequence[str] = DEFAULT_MODELS,
+        *,
+        workers: Optional[int] = 1,
+        reducer: Optional[Reducer] = None,
+    ) -> None:
+        self.models = tuple(get_construction(key).key for key in models)
+        self.workers = workers
+        self.reducer: Reducer = reducer if reducer is not None else sweep_point_reducer
+
+    def _resolve_workers(self, num_tasks: int) -> int:
+        workers = self.workers if self.workers is not None else (os.cpu_count() or 1)
+        return max(1, min(workers, num_tasks))
+
+    def plan(
+        self,
+        fault_counts: Sequence[int],
+        trials: int,
+        *,
+        width: int = 100,
+        height: Optional[int] = None,
+        distribution: str = "random",
+        base_seed: int = 0,
+        torus: bool = False,
+        cluster_factor: float = 2.0,
+        include_rounds: bool = True,
+    ) -> List[TrialSpec]:
+        """Expand a sweep into its deterministic per-trial specs."""
+        if trials < 1:
+            raise ValueError("trials must be at least 1")
+        construction_specs = tuple(get_construction(key) for key in self.models)
+        specs: List[TrialSpec] = []
+        for count_index, num_faults in enumerate(fault_counts):
+            for trial in range(trials):
+                specs.append(
+                    TrialSpec(
+                        num_faults=num_faults,
+                        seed=derive_trial_seed(base_seed, count_index, trials, trial),
+                        width=width,
+                        height=height,
+                        distribution=distribution,
+                        torus=torus,
+                        cluster_factor=cluster_factor,
+                        models=self.models,
+                        include_rounds=include_rounds,
+                        specs=construction_specs,
+                    )
+                )
+        return specs
+
+    def map_trials(self, specs: Sequence[TrialSpec]) -> List[Any]:
+        """Run the trial specs, serially or over a process pool."""
+        workers = self._resolve_workers(len(specs))
+        if workers <= 1:
+            return [run_trial(spec) for spec in specs]
+        # fork shares the already-imported package with the workers; fall
+        # back to the platform default where fork is unavailable.
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context()
+        with context.Pool(processes=workers) as pool:
+            return pool.map(run_trial, specs)
+
+    def run(
+        self,
+        fault_counts: Sequence[int],
+        trials: int = 3,
+        *,
+        width: int = 100,
+        height: Optional[int] = None,
+        distribution: str = "random",
+        base_seed: int = 0,
+        torus: bool = False,
+        cluster_factor: float = 2.0,
+        include_rounds: bool = True,
+    ) -> List[Any]:
+        """Run the sweep and return one reduced record per fault count.
+
+        With the default reducer the return value is a list of
+        ``SweepPoint`` -- exactly what the figure-series builders consume.
+        """
+        # Materialise once: fault_counts is iterated for planning and again
+        # for reduction, which would silently drain a generator input.
+        fault_counts = list(fault_counts)
+        specs = self.plan(
+            fault_counts,
+            trials,
+            width=width,
+            height=height,
+            distribution=distribution,
+            base_seed=base_seed,
+            torus=torus,
+            cluster_factor=cluster_factor,
+            include_rounds=include_rounds,
+        )
+        results = self.map_trials(specs)
+        points: List[Any] = []
+        for count_index, num_faults in enumerate(fault_counts):
+            chunk = results[count_index * trials : (count_index + 1) * trials]
+            points.append(self.reducer(num_faults, distribution, chunk))
+        return points

@@ -1,6 +1,9 @@
 """Command-line interface for the reproduction package.
 
-The CLI exposes the main workflows without writing any Python:
+The CLI is a thin shell over the :mod:`repro.api` session layer: every
+command resolves its fault-region models through the construction registry
+(``repro.api.get_construction``) and builds them on a
+:class:`repro.api.MeshSession`.
 
 ``repro-mesh construct``
     Build FB / FP / MFP / DMFP regions for one generated fault pattern and
@@ -8,7 +11,8 @@ The CLI exposes the main workflows without writing any Python:
 
 ``repro-mesh sweep``
     Run the Figure 9/10/11 fault-count sweep for one distribution and print
-    the series tables (optionally ASCII charts).
+    the series tables (optionally ASCII charts); ``--workers`` fans the
+    trials out over a process pool.
 
 ``repro-mesh route``
     Route random traffic over the regions of each fault model built from
@@ -29,18 +33,15 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-from repro.core.faulty_block import build_faulty_blocks
-from repro.core.mfp import build_minimum_polygons
-from repro.core.sub_minimum import build_sub_minimum_polygons
+from repro.api import ConstructionResult, MeshSession, get_construction
 from repro.core.verify import (
     compare_constructions_report,
     verify_faulty_blocks,
     verify_minimality,
     verify_orthogonal_convexity,
 )
-from repro.distributed.dmfp import build_minimum_polygons_distributed
 from repro.faults.scenario import generate_scenario
 from repro.routing.simulator import RoutingSimulator
 from repro.sim.experiments import run_sweep
@@ -52,6 +53,9 @@ from repro.sim.figures import (
 )
 from repro.sim.registry import EXPERIMENTS, get_experiment, render_index
 from repro.sim.render import render_ascii_chart
+
+#: Registry keys built by the construct/verify commands, in display order.
+CONSTRUCT_KEYS = ("fb", "fp", "mfp", "dmfp")
 
 
 def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
@@ -73,8 +77,8 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--torus", action="store_true", help="use a torus topology")
 
 
-def _scenario_from(args: argparse.Namespace):
-    return generate_scenario(
+def _session_from(args: argparse.Namespace):
+    scenario = generate_scenario(
         num_faults=args.faults,
         width=args.width,
         model=args.distribution,
@@ -82,35 +86,32 @@ def _scenario_from(args: argparse.Namespace):
         torus=args.torus,
         cluster_factor=args.cluster_factor,
     )
+    return scenario, MeshSession.from_scenario(scenario)
 
 
-def _build_all(scenario):
-    topology = scenario.topology()
-    return {
-        "FB": build_faulty_blocks(scenario.faults, topology=topology),
-        "FP": build_sub_minimum_polygons(scenario.faults, topology=topology),
-        "MFP": build_minimum_polygons(scenario.faults, topology=topology),
-        "DMFP": build_minimum_polygons_distributed(scenario.faults, topology=topology),
-    }
+def _build_models(
+    session: MeshSession, keys: Sequence[str] = CONSTRUCT_KEYS
+) -> Dict[str, ConstructionResult]:
+    return {key: session.build(key) for key in keys}
 
 
 # -- subcommands -------------------------------------------------------------------
 
 
 def cmd_construct(args: argparse.Namespace) -> int:
-    scenario = _scenario_from(args)
+    scenario, session = _session_from(args)
     print(f"scenario: {scenario.describe()}")
-    constructions = _build_all(scenario)
+    constructions = _build_models(session)
     print(f"{'model':>5} {'regions':>8} {'disabled non-faulty':>20} {'mean size':>10} {'rounds':>7}")
-    for name, construction in constructions.items():
+    for result in constructions.values():
         print(
-            f"{name:>5} {len(construction.regions):>8} "
-            f"{construction.grid.num_disabled_nonfaulty:>20} "
-            f"{construction.mean_region_size:>10.2f} {construction.rounds:>7}"
+            f"{result.label:>5} {result.num_regions:>8} "
+            f"{result.num_disabled_nonfaulty:>20} "
+            f"{result.mean_region_size:>10.2f} {result.rounds:>7}"
         )
     if args.render:
-        chosen = constructions[args.render]
-        print(f"\n{args.render} grid ('#' faulty, 'o' disabled non-faulty):")
+        chosen = session.build(args.render)
+        print(f"\n{chosen.label} grid ('#' faulty, 'o' disabled non-faulty):")
         print(chosen.grid.render())
     return 0
 
@@ -124,6 +125,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         distribution=args.distribution,
         include_distributed=not args.skip_distributed,
         include_rounds=True,
+        workers=args.workers,
     )
     figures = [
         figure9_series(distribution=args.distribution, points=points),
@@ -141,23 +143,18 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_route(args: argparse.Namespace) -> int:
-    scenario = _scenario_from(args)
-    topology = scenario.topology()
+    scenario, session = _session_from(args)
     print(f"scenario: {scenario.describe()}")
-    constructions = {
-        "FB": build_faulty_blocks(scenario.faults, topology=topology),
-        "FP": build_sub_minimum_polygons(scenario.faults, topology=topology),
-        "MFP": build_minimum_polygons(scenario.faults, topology=topology),
-    }
+    constructions = _build_models(session, ("fb", "fp", "mfp"))
     print(
         f"{'model':>5} {'enabled':>8} {'delivery':>9} {'mean hops':>10} "
         f"{'detour':>7} {'abnormal':>9}"
     )
-    for name, construction in constructions.items():
-        simulator = RoutingSimulator(topology, construction.regions, seed=args.seed)
+    for result in constructions.values():
+        simulator = RoutingSimulator.from_construction(result, seed=args.seed)
         stats = simulator.run(args.messages)
         print(
-            f"{name:>5} {simulator.num_enabled:>8} {stats.delivery_rate:>9.3f} "
+            f"{result.label:>5} {simulator.num_enabled:>8} {stats.delivery_rate:>9.3f} "
             f"{stats.mean_hops:>10.2f} {stats.mean_detour:>7.2f} "
             f"{stats.abnormal_fraction:>9.3f}"
         )
@@ -173,18 +170,22 @@ def cmd_experiments(args: argparse.Namespace) -> int:
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
-    scenario = _scenario_from(args)
+    scenario, session = _session_from(args)
+    faults = session.faults
     print(f"scenario: {scenario.describe()}")
-    constructions = _build_all(scenario)
+    constructions = _build_models(session)
     reports = {
-        "FB rectangular blocks": verify_faulty_blocks(constructions["FB"], scenario.faults),
+        "FB rectangular blocks": verify_faulty_blocks(constructions["fb"].raw, faults),
         "FP orthogonal convexity": verify_orthogonal_convexity(
-            constructions["FP"], scenario.faults
+            constructions["fp"].raw, faults
         ),
-        "MFP minimality": verify_minimality(constructions["MFP"], scenario.faults),
-        "DMFP minimality": verify_minimality(constructions["DMFP"], scenario.faults),
+        "MFP minimality": verify_minimality(constructions["mfp"].raw, faults),
+        "DMFP minimality": verify_minimality(constructions["dmfp"].raw, faults),
         "FB/FP/MFP containment": compare_constructions_report(
-            constructions["FB"], constructions["FP"], constructions["MFP"], scenario.faults
+            constructions["fb"].raw,
+            constructions["fp"].raw,
+            constructions["mfp"].raw,
+            faults,
         ),
     }
     exit_code = 0
@@ -230,6 +231,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-counts", type=int, nargs="+", dest="fault_counts", default=None
     )
     sweep.add_argument("--chart", action="store_true", help="also print ASCII charts")
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the sweep trials (default: serial)",
+    )
     sweep.add_argument(
         "--skip-distributed",
         action="store_true",

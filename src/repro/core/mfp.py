@@ -41,7 +41,7 @@ from repro.core.labelling import (
     apply_labelling_scheme_2,
     faults_to_mask,
 )
-from repro.core.regions import FaultRegion, regions_from_masks
+from repro.core.regions import FaultRegion, convexify_regions
 from repro.core.superseding import pile_statuses
 from repro.faults.scenario import FaultScenario
 from repro.geometry.orthogonal import orthogonal_convex_hull
@@ -161,14 +161,20 @@ def component_polygon_via_labelling(
     )
 
 
-def _assemble(
+def assemble_minimum_polygons(
     faults: Sequence[Coord],
     topology: Topology,
     component_polygons: List[ComponentPolygon],
     rounds: int,
     components: List[FaultComponent],
 ) -> MinimumPolygonConstruction:
-    """Pile per-component polygons into a network-wide construction result."""
+    """Pile per-component polygons into a network-wide construction result.
+
+    Exposed so that callers that maintain the component partition and the
+    per-component polygons themselves (notably the incremental
+    :class:`repro.api.MeshSession`) can reuse the piling/superseding step
+    without recomputing every polygon.
+    """
     fault_set = set(faults)
     layers = []
     for entry in component_polygons:
@@ -186,7 +192,10 @@ def _assemble(
         if status == NodeKind.DISABLED and topology.contains(node):
             grid.mark_disabled(node)
             grid.mark_unsafe(node)
-    regions = regions_from_masks(grid.disabled, grid.faulty)
+    # Overlapping per-component polygons can merge into a non-convex region;
+    # fill such regions to their hulls so every final region satisfies
+    # Definition 1 (which the extended e-cube router depends on).
+    regions = convexify_regions(grid)
     return MinimumPolygonConstruction(
         grid=grid,
         regions=regions,
@@ -224,7 +233,7 @@ def build_minimum_polygons(
         for component in components:
             emulated = component_polygon_via_labelling(component)
             rounds = max(rounds, emulated.rounds)
-    return _assemble(faults, topology, component_polygons, rounds, components)
+    return assemble_minimum_polygons(faults, topology, component_polygons, rounds, components)
 
 
 def build_minimum_polygons_via_labelling(
@@ -240,7 +249,7 @@ def build_minimum_polygons_via_labelling(
     components = find_components(faults)
     component_polygons = [component_polygon_via_labelling(c) for c in components]
     rounds = max((entry.rounds for entry in component_polygons), default=0)
-    return _assemble(faults, topology, component_polygons, rounds, components)
+    return assemble_minimum_polygons(faults, topology, component_polygons, rounds, components)
 
 
 def build_minimum_polygons_for_scenario(

@@ -16,7 +16,7 @@ from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.geometry.orthogonal import is_orthogonal_convex
+from repro.geometry.orthogonal import is_orthogonal_convex, orthogonal_convex_hull
 from repro.geometry.rectangle import Rectangle, bounding_rectangle
 from repro.types import Coord
 
@@ -121,6 +121,31 @@ def regions_from_masks(disabled: np.ndarray, faulty: np.ndarray) -> List[FaultRe
     disabled_nodes = {(int(x), int(y)) for x, y in zip(*np.nonzero(disabled))}
     fault_nodes = {(int(x), int(y)) for x, y in zip(*np.nonzero(faulty))}
     return extract_regions(disabled_nodes, fault_nodes)
+
+
+def convexify_regions(grid) -> List[FaultRegion]:
+    """Extract regions from *grid*, filling merged regions to convexity.
+
+    Piling independently constructed per-component polygons (the MFP/DMFP
+    superseding step) can produce touching or overlapping polygons whose
+    merged region is *not* orthogonal convex -- e.g. a singleton fault
+    8-adjacent to another component's hull.  The routing layer requires
+    convex regions, so any non-convex merged region is filled to its
+    orthogonal convex hull; filling can make further regions touch, hence
+    the fixpoint loop (it terminates because the disabled set only grows
+    and is bounded by the mesh).  In the common non-overlapping case this
+    is a single extraction with no extra work.
+    """
+    while True:
+        regions = regions_from_masks(grid.disabled, grid.faulty)
+        dirty = [r for r in regions if not r.is_orthogonal_convex]
+        if not dirty:
+            return regions
+        for region in dirty:
+            for node in orthogonal_convex_hull(region.nodes):
+                if grid.topology.contains(node) and not grid.disabled[node]:
+                    grid.mark_disabled(node)
+                    grid.mark_unsafe(node)
 
 
 def region_statistics(regions: Sequence[FaultRegion]) -> Dict[str, float]:

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.components import FaultComponent, find_components
-from repro.core.regions import FaultRegion, regions_from_masks
+from repro.core.regions import FaultRegion, convexify_regions
 from repro.distributed.notification import NotificationPlan, plan_notifications
 from repro.distributed.ring import RingConstruction, construct_boundary_ring
 from repro.faults.scenario import FaultScenario
@@ -94,6 +94,41 @@ class DistributedMinimumPolygonConstruction:
         return all(region.is_orthogonal_convex for region in self.regions)
 
 
+def assemble_distributed(
+    faults: Sequence[Coord],
+    topology: Topology,
+    components: List[FaultComponent],
+    per_component: List[ComponentConstruction],
+) -> DistributedMinimumPolygonConstruction:
+    """Combine per-component ring/notification results into a network result.
+
+    Exposed so that callers that maintain the component partition and cache
+    the boundary rings themselves (notably the incremental
+    :class:`repro.api.MeshSession`) can reuse the final status piling.
+    """
+    fault_set = set(faults)
+    grid = StatusGrid(topology, faults)
+    for entry in per_component:
+        for node in entry.polygon:
+            if node in fault_set or not topology.contains(node):
+                continue
+            grid.mark_unsafe(node)
+            grid.mark_disabled(node)
+
+    # Same convexity repair as the centralized assemble: overlapping
+    # polygons piled into one region must stay orthogonal convex, and the
+    # distributed result must keep matching the centralized one exactly.
+    regions = convexify_regions(grid)
+    rounds = max((entry.rounds for entry in per_component), default=0)
+    return DistributedMinimumPolygonConstruction(
+        grid=grid,
+        regions=regions,
+        components=components,
+        per_component=per_component,
+        rounds=rounds,
+    )
+
+
 def build_minimum_polygons_distributed(
     faults: Sequence[Coord],
     topology: Optional[Topology] = None,
@@ -120,24 +155,7 @@ def build_minimum_polygons_distributed(
         per_component.append(
             ComponentConstruction(component=component, ring=ring, plan=plan)
         )
-
-    grid = StatusGrid(topology, faults)
-    for entry in per_component:
-        for node in entry.polygon:
-            if node in fault_set or not topology.contains(node):
-                continue
-            grid.mark_unsafe(node)
-            grid.mark_disabled(node)
-
-    regions = regions_from_masks(grid.disabled, grid.faulty)
-    rounds = max((entry.rounds for entry in per_component), default=0)
-    return DistributedMinimumPolygonConstruction(
-        grid=grid,
-        regions=regions,
-        components=components,
-        per_component=per_component,
-        rounds=rounds,
-    )
+    return assemble_distributed(faults, topology, components, per_component)
 
 
 def build_distributed_for_scenario(

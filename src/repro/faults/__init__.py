@@ -19,7 +19,13 @@ from repro.faults.models import (
     RandomFaultModel,
     make_fault_model,
 )
-from repro.faults.scenario import FaultScenario, generate_scenario, sweep_scenarios
+from repro.faults.scenario import (
+    TRIAL_SEED_STRIDE,
+    FaultScenario,
+    derive_trial_seed,
+    generate_scenario,
+    sweep_scenarios,
+)
 from repro.faults.links import (
     LinkFaultSet,
     isolated_by_link_faults,
@@ -35,6 +41,8 @@ __all__ = [
     "FaultScenario",
     "generate_scenario",
     "sweep_scenarios",
+    "derive_trial_seed",
+    "TRIAL_SEED_STRIDE",
     "LinkFaultSet",
     "make_link_fault_set",
     "links_to_node_faults",

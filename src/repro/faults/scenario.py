@@ -91,6 +91,38 @@ def generate_scenario(
     )
 
 
+#: Stride between the seeds of consecutive trials at one sweep point.  A
+#: large prime keeps per-trial seeds well separated (instead of the adjacent
+#: integers an additive ``base_seed + trial`` scheme would produce).
+TRIAL_SEED_STRIDE = 10_007
+
+#: Stride between the seed blocks of consecutive fault counts.  Large enough
+#: that the trials of one point never collide with another point's.
+COUNT_SEED_STRIDE = 1_000_003
+
+
+def derive_trial_seed(
+    base_seed: int,
+    count_index: int,
+    trials: int,
+    trial: int,
+    stride: int = TRIAL_SEED_STRIDE,
+) -> int:
+    """Derive the deterministic seed of one trial of a sweep.
+
+    Every (fault-count index, trial) pair maps to its own seed
+    ``base_seed + count_index * COUNT_SEED_STRIDE + trial * stride``.  The
+    formula deliberately does not depend on the total trial count, so
+    re-running a sweep with more trials keeps the fault patterns of the
+    existing trials stable (add-more-trials variance reduction).  Both
+    :func:`sweep_scenarios` and :class:`repro.api.SweepExecutor` use this
+    helper, so serial and parallel sweeps see identical fault patterns.
+    """
+    if trial < 0 or trial >= trials:
+        raise ValueError(f"trial {trial} outside range(0, {trials})")
+    return base_seed + count_index * COUNT_SEED_STRIDE + trial * stride
+
+
 def sweep_scenarios(
     fault_counts: Sequence[int],
     trials: int,
@@ -112,7 +144,7 @@ def sweep_scenarios(
         raise ValueError("trials must be at least 1")
     for count_index, num_faults in enumerate(fault_counts):
         for trial in range(trials):
-            seed = base_seed + 10_000 * count_index + trial
+            seed = derive_trial_seed(base_seed, count_index, trials, trial)
             yield generate_scenario(
                 num_faults=num_faults,
                 width=width,

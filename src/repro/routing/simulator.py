@@ -97,6 +97,27 @@ class RoutingSimulator:
             node for node in topology.nodes() if not self.router.is_disabled(node)
         ]
 
+    @classmethod
+    def from_construction(
+        cls,
+        construction,
+        seed: int = 0,
+        topology: Optional[Topology] = None,
+    ) -> "RoutingSimulator":
+        """Build a simulator from a construction result.
+
+        Accepts a :class:`repro.api.ConstructionResult` or any legacy
+        construction object exposing ``grid`` and ``regions``, so a
+        registry key is all that is needed to go from fault set to routing
+        experiment::
+
+            result = repro.api.get_construction("mfp").build(scenario)
+            stats = RoutingSimulator.from_construction(result, seed=1).run(500)
+        """
+        if topology is None:
+            topology = construction.grid.topology
+        return cls(topology, construction.regions, seed=seed)
+
     @property
     def num_enabled(self) -> int:
         """Number of nodes still available as message endpoints."""

@@ -1,25 +1,32 @@
 """Running the paper's constructions over fault scenarios.
 
-``compare_constructions`` runs the rectangular faulty block (FB), the
-sub-minimum faulty polygon (FP), the centralized minimum faulty polygon
-(MFP / CMFP) and optionally the distributed construction (DMFP) on one
-fault pattern and extracts the figure scalars.  ``run_sweep`` repeats this
-over a fault-count sweep with several trials per point -- exactly the shape
-of the paper's simulation ("faults are sequentially added", "a simulation
-has been conducted in a 100x100 mesh ... the number of faults is no more
-than 800").
+Thin compatibility layer over :mod:`repro.api`: ``compare_constructions``
+runs the registered constructions (FB, FP, MFP/CMFP and optionally DMFP)
+on one fault pattern via the construction registry, and ``run_sweep``
+delegates the fault-count sweep -- exactly the shape of the paper's
+simulation ("faults are sequentially added", "a simulation has been
+conducted in a 100x100 mesh ... the number of faults is no more than 800")
+-- to :class:`repro.api.SweepExecutor`, which can fan trials out over
+worker processes.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import List, Sequence
 
-from repro.core.faulty_block import build_faulty_blocks
-from repro.core.mfp import build_minimum_polygons
-from repro.core.sub_minimum import build_sub_minimum_polygons
-from repro.distributed.dmfp import build_minimum_polygons_distributed
-from repro.faults.scenario import FaultScenario, generate_scenario
-from repro.sim.metrics import ConstructionMetrics, ScenarioMetrics, SweepPoint
+from repro.api.executor import (
+    DEFAULT_MODELS,
+    SweepExecutor,
+    collect_scenario_metrics,
+)
+from repro.faults.scenario import FaultScenario
+from repro.sim.metrics import ScenarioMetrics, SweepPoint
+
+
+def _model_keys(include_distributed: bool) -> tuple:
+    if include_distributed:
+        return DEFAULT_MODELS
+    return tuple(key for key in DEFAULT_MODELS if key != "dmfp")
 
 
 def compare_constructions(
@@ -40,76 +47,11 @@ def compare_constructions(
         Whether the centralized MFP should compute its round emulation
         (CMFP); disable to speed up the Figure 9/10 sweeps.
     """
-    topology = scenario.topology()
-    faults = scenario.faults
-    metrics = ScenarioMetrics(
-        num_faults=scenario.num_faults,
-        distribution=scenario.model,
-        seed=scenario.seed,
+    return collect_scenario_metrics(
+        scenario,
+        models=_model_keys(include_distributed),
+        include_rounds=include_rounds,
     )
-
-    fb = build_faulty_blocks(faults, topology=topology)
-    metrics.add(
-        ConstructionMetrics(
-            model="FB",
-            num_faults=scenario.num_faults,
-            num_regions=len(fb.regions),
-            disabled_nonfaulty=fb.num_disabled_nonfaulty,
-            mean_region_size=fb.mean_region_size,
-            rounds=fb.rounds,
-        )
-    )
-
-    fp = build_sub_minimum_polygons(faults, topology=topology)
-    metrics.add(
-        ConstructionMetrics(
-            model="FP",
-            num_faults=scenario.num_faults,
-            num_regions=len(fp.regions),
-            disabled_nonfaulty=fp.num_disabled_nonfaulty,
-            mean_region_size=fp.mean_region_size,
-            rounds=fp.rounds,
-        )
-    )
-
-    mfp = build_minimum_polygons(
-        faults, topology=topology, compute_rounds=include_rounds
-    )
-    metrics.add(
-        ConstructionMetrics(
-            model="MFP",
-            num_faults=scenario.num_faults,
-            num_regions=len(mfp.regions),
-            disabled_nonfaulty=mfp.num_disabled_nonfaulty,
-            mean_region_size=mfp.mean_region_size,
-            rounds=mfp.rounds,
-        )
-    )
-    # The centralized solution's rounds are reported under the CMFP label.
-    metrics.add(
-        ConstructionMetrics(
-            model="CMFP",
-            num_faults=scenario.num_faults,
-            num_regions=len(mfp.regions),
-            disabled_nonfaulty=mfp.num_disabled_nonfaulty,
-            mean_region_size=mfp.mean_region_size,
-            rounds=mfp.rounds,
-        )
-    )
-
-    if include_distributed:
-        dmfp = build_minimum_polygons_distributed(faults, topology=topology)
-        metrics.add(
-            ConstructionMetrics(
-                model="DMFP",
-                num_faults=scenario.num_faults,
-                num_regions=len(dmfp.regions),
-                disabled_nonfaulty=dmfp.num_disabled_nonfaulty,
-                mean_region_size=dmfp.mean_region_size,
-                rounds=dmfp.rounds,
-            )
-        )
-    return metrics
 
 
 def run_sweep(
@@ -121,31 +63,25 @@ def run_sweep(
     include_distributed: bool = True,
     include_rounds: bool = True,
     cluster_factor: float = 2.0,
+    workers: int = 1,
 ) -> List[SweepPoint]:
     """Run the constructions over a fault-count sweep.
 
     Returns one :class:`SweepPoint` per entry of *fault_counts*, each
     averaging *trials* independently seeded scenarios.  All constructions
-    inside a trial share the same fault pattern (paired comparison).
+    inside a trial share the same fault pattern (paired comparison).  Pass
+    ``workers`` > 1 (or ``None`` for all CPUs) to fan the trials out over a
+    process pool; the per-trial seeds are deterministic either way.
     """
-    points: List[SweepPoint] = []
-    for count_index, num_faults in enumerate(fault_counts):
-        point = SweepPoint(num_faults=num_faults, distribution=distribution)
-        for trial in range(trials):
-            seed = base_seed + 10_000 * count_index + trial
-            scenario = generate_scenario(
-                num_faults=num_faults,
-                width=width,
-                model=distribution,
-                seed=seed,
-                cluster_factor=cluster_factor,
-            )
-            point.add(
-                compare_constructions(
-                    scenario,
-                    include_distributed=include_distributed,
-                    include_rounds=include_rounds,
-                )
-            )
-        points.append(point)
-    return points
+    executor = SweepExecutor(
+        models=_model_keys(include_distributed), workers=workers
+    )
+    return executor.run(
+        fault_counts,
+        trials,
+        width=width,
+        distribution=distribution,
+        base_seed=base_seed,
+        cluster_factor=cluster_factor,
+        include_rounds=include_rounds,
+    )

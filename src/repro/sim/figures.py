@@ -57,6 +57,7 @@ def _sweep(
     base_seed: int,
     include_distributed: bool,
     include_rounds: bool,
+    workers: int = 1,
 ) -> List[SweepPoint]:
     return run_sweep(
         fault_counts=fault_counts,
@@ -66,6 +67,7 @@ def _sweep(
         base_seed=base_seed,
         include_distributed=include_distributed,
         include_rounds=include_rounds,
+        workers=workers,
     )
 
 
@@ -77,6 +79,7 @@ def figure9_series(
     base_seed: int = 0,
     log10: bool = True,
     points: Optional[List[SweepPoint]] = None,
+    workers: int = 1,
 ) -> FigureSeries:
     """Figure 9: non-faulty but disabled nodes in the whole network.
 
@@ -87,7 +90,7 @@ def figure9_series(
     if points is None:
         points = _sweep(
             fault_counts, trials, width, distribution, base_seed,
-            include_distributed=False, include_rounds=False,
+            include_distributed=False, include_rounds=False, workers=workers,
         )
     figure = FigureSeries(
         figure="9a" if distribution == "random" else "9b",
@@ -114,12 +117,13 @@ def figure10_series(
     width: int = 100,
     base_seed: int = 0,
     points: Optional[List[SweepPoint]] = None,
+    workers: int = 1,
 ) -> FigureSeries:
     """Figure 10: average size of a fault region (faulty + non-faulty nodes)."""
     if points is None:
         points = _sweep(
             fault_counts, trials, width, distribution, base_seed,
-            include_distributed=False, include_rounds=False,
+            include_distributed=False, include_rounds=False, workers=workers,
         )
     figure = FigureSeries(
         figure="10a" if distribution == "random" else "10b",
@@ -140,12 +144,13 @@ def figure11_series(
     width: int = 100,
     base_seed: int = 0,
     points: Optional[List[SweepPoint]] = None,
+    workers: int = 1,
 ) -> FigureSeries:
     """Figure 11: rounds of status determination (FB, FP, CMFP, DMFP)."""
     if points is None:
         points = _sweep(
             fault_counts, trials, width, distribution, base_seed,
-            include_distributed=True, include_rounds=True,
+            include_distributed=True, include_rounds=True, workers=workers,
         )
     figure = FigureSeries(
         figure="11a" if distribution == "random" else "11b",

@@ -13,6 +13,16 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 
+#: Figure-series labels -> construction registry keys (repro.api.registry).
+SERIES_CONSTRUCTION_KEYS: Dict[str, str] = {
+    "FB": "fb",
+    "FP": "fp",
+    "MFP": "mfp",
+    "CMFP": "cmfp",
+    "DMFP": "dmfp",
+}
+
+
 @dataclass(frozen=True)
 class Experiment:
     """One reproducible experiment (a figure panel or an ablation)."""
@@ -27,6 +37,19 @@ class Experiment:
     bench_target: str
     in_paper: bool = True
 
+    @property
+    def construction_keys(self) -> Tuple[str, ...]:
+        """Registry keys of the constructions this experiment compares.
+
+        Resolvable via :func:`repro.api.get_construction`, so tooling can
+        rebuild an experiment's models without parsing the series labels.
+        """
+        return tuple(
+            SERIES_CONSTRUCTION_KEYS[label]
+            for label in self.series
+            if label in SERIES_CONSTRUCTION_KEYS
+        )
+
     def describe(self) -> str:
         """One-paragraph human-readable description."""
         origin = self.paper_reference if self.in_paper else "extension (not in the paper)"
@@ -35,6 +58,7 @@ class Experiment:
             f"  source      : {origin}\n"
             f"  quantity    : {self.quantity}\n"
             f"  series      : {', '.join(self.series)}\n"
+            f"  api keys    : {', '.join(self.construction_keys)}\n"
             f"  workload    : {self.workload}\n"
             f"  modules     : {', '.join(self.modules)}\n"
             f"  bench target: {self.bench_target}"

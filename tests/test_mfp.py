@@ -12,6 +12,7 @@ from repro.core.mfp import (
 )
 from repro.core.sub_minimum import build_sub_minimum_polygons
 from repro.faults.scenario import generate_scenario
+from repro.mesh.topology import Mesh2D
 from repro.geometry.orthogonal import is_orthogonal_convex, orthogonal_convex_hull
 from repro.types import FaultRegionModel
 
@@ -166,3 +167,46 @@ class TestBuildMinimumPolygons:
         disabled = result.grid.disabled_set()
         assert (3, 3) in disabled and (4, 3) in disabled
         assert result.grid.is_faulty((7, 7))
+
+
+class TestPiledRegionConvexity:
+    """Piled polygons that merge must still form orthogonal convex regions.
+
+    Regression for a bug found by the hypothesis suite: a singleton
+    component 8-adjacent to another component's hull produced a merged
+    region that was not orthogonal convex (violating what the extended
+    e-cube router requires).  The assembles now fill such merged regions
+    to their hulls (fixpoint).
+    """
+
+    FAULTS = sorted({(4, 4), (4, 0), (3, 1), (3, 3), (5, 0), (2, 2), (5, 2)})
+
+    def test_centralized_regions_convex_after_merge(self):
+        mfp = build_minimum_polygons(
+            self.FAULTS, topology=Mesh2D(12, 12), compute_rounds=False
+        )
+        assert all(r.is_orthogonal_convex for r in mfp.regions)
+
+    def test_distributed_matches_centralized_after_merge(self):
+        from repro.distributed.dmfp import build_minimum_polygons_distributed
+
+        mfp = build_minimum_polygons(
+            self.FAULTS, topology=Mesh2D(12, 12), compute_rounds=False
+        )
+        dmfp = build_minimum_polygons_distributed(
+            self.FAULTS, topology=Mesh2D(12, 12)
+        )
+        assert all(r.is_orthogonal_convex for r in dmfp.regions)
+        assert dmfp.grid.disabled_set() == mfp.grid.disabled_set()
+
+    def test_incremental_session_matches_after_merge(self):
+        from repro.api import MeshSession, get_construction
+
+        session = MeshSession(topology=Mesh2D(12, 12))
+        for fault in self.FAULTS:
+            session.add_fault(fault)
+        for key in ("mfp", "dmfp"):
+            incremental = session.build(key)
+            oneshot = get_construction(key).build(self.FAULTS, Mesh2D(12, 12))
+            assert incremental.disabled_set() == oneshot.disabled_set()
+            assert all(r.is_orthogonal_convex for r in incremental.regions)

@@ -109,3 +109,24 @@ class TestVerifiers:
         ]
         assert not verify_minimality(inflated, [(0, 0)]).ok
         assert report.checks  # the FB report ran its checks either way
+
+
+class TestMinimalityWithMergedRegions:
+    def test_verify_accepts_hull_filled_merged_regions(self):
+        """Regression: verify_minimality must apply the same merged-region
+        convexity fill as the assembles (repro-mesh verify exited 1 on
+        scenarios where piled polygons merged into a non-convex region)."""
+        from repro.core.mfp import build_minimum_polygons
+        from repro.distributed.dmfp import build_minimum_polygons_distributed
+        from repro.faults.scenario import generate_scenario
+
+        scenario = generate_scenario(
+            num_faults=80, width=20, model="clustered", seed=21
+        )
+        topology = scenario.topology()
+        mfp = build_minimum_polygons(
+            scenario.faults, topology=topology, compute_rounds=False
+        )
+        dmfp = build_minimum_polygons_distributed(scenario.faults, topology=topology)
+        assert verify_minimality(mfp, scenario.faults).ok
+        assert verify_minimality(dmfp, scenario.faults).ok
