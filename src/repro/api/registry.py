@@ -137,6 +137,9 @@ class ConstructionResult:
     rounds: int
     raw: Any
     options: ConstructionOptions
+    #: Cell -> region-index grid (``-1`` outside every region) when the
+    #: construction produced one; gives routers O(1) region membership.
+    region_index: Any = dataclasses.field(default=None, compare=False, repr=False)
 
     @property
     def num_regions(self) -> int:
@@ -250,6 +253,7 @@ class ConstructionSpec:
             rounds=raw.rounds,
             raw=raw,
             options=options,
+            region_index=getattr(raw, "region_index", None),
         )
 
     def build(

@@ -15,6 +15,9 @@ labelling-emulation rounds, boundary rings) are cached keyed by the
 component's node set, so after an update only the components actually
 touched by new faults -- the *dirty* components -- are recomputed; the
 cheap network-wide piling step then reassembles the full result.  The
+cached hull/labelling entries carry their polygons as coordinate arrays
+built by the mask kernel (:mod:`repro.geometry.masks`), so the reassembly
+concatenates whole arrays instead of iterating frozensets.  The
 incremental results are bit-identical to one-shot builds on the same fault
 set (asserted by the property tests in ``tests/test_api_session.py``).
 
@@ -51,11 +54,13 @@ from repro.core.mfp import (
     assemble_minimum_polygons,
     component_minimum_polygon,
     component_polygon_via_labelling,
+    emulate_rounds_each,
 )
 from repro.distributed.dmfp import ComponentConstruction, assemble_distributed
 from repro.distributed.notification import plan_notifications
 from repro.distributed.ring import construct_boundary_ring
 from repro.faults.scenario import FaultScenario
+from repro.geometry import masks
 from repro.geometry.boundary import eight_neighbours
 from repro.mesh.topology import Mesh2D, Topology, Torus2D
 from repro.types import Coord
@@ -98,10 +103,21 @@ class MeshSession:
         self._next_comp_id = 0
         self._version = 0
         self._components: Optional[List[FaultComponent]] = None
+        # Per-component-id caches of the frozen node set and its minimum
+        # node, invalidated only when that component is touched -- so
+        # rebuilding the component list after a batch costs O(changed),
+        # not O(total faults).
+        self._frozen_members: Dict[int, FrozenSet[Coord]] = {}
+        self._comp_min: Dict[int, Coord] = {}
+        # Reused FaultComponent objects keyed by node set; an unchanged
+        # component with an unchanged index keeps its identity across
+        # versions, which lets cached artefacts skip re-anchoring.
+        self._component_objects: Dict[FrozenSet[Coord], FaultComponent] = {}
         # Component-local caches keyed by the component's frozen node set; a
         # merge produces a new node set, so dirty components miss naturally.
         self._hull_cache: Dict[FrozenSet[Coord], ComponentPolygon] = {}
         self._labelling_cache: Dict[FrozenSet[Coord], ComponentPolygon] = {}
+        self._rounds_cache: Dict[FrozenSet[Coord], int] = {}
         self._ring_cache: Dict[FrozenSet[Coord], object] = {}
         # Whole-result cache: (key, options) -> (version, result).
         self._results: Dict[Tuple[str, ConstructionOptions], Tuple[int, ConstructionResult]] = {}
@@ -184,15 +200,21 @@ class MeshSession:
                 comp_id = self._next_comp_id
                 self._next_comp_id += 1
                 self._members[comp_id] = {node}
+                self._comp_min[comp_id] = node
             else:
                 # Merge everything into the largest touched component.
                 comp_id = max(touching, key=lambda cid: len(self._members[cid]))
+                best_min = min(self._comp_min[cid] for cid in touching)
                 for other in touching - {comp_id}:
                     moved = self._members.pop(other)
+                    self._frozen_members.pop(other, None)
+                    self._comp_min.pop(other, None)
                     for member in moved:
                         self._comp_of[member] = comp_id
                     self._members[comp_id].update(moved)
                 self._members[comp_id].add(node)
+                self._frozen_members.pop(comp_id, None)
+                self._comp_min[comp_id] = min(best_min, node)
             self._comp_of[node] = comp_id
         if added:
             self._version += 1
@@ -205,11 +227,15 @@ class MeshSession:
         self._fault_set.clear()
         self._members.clear()
         self._comp_of.clear()
+        self._frozen_members.clear()
+        self._comp_min.clear()
+        self._component_objects.clear()
         self._next_comp_id = 0
         self._version += 1
         self._components = None
         self._hull_cache.clear()
         self._labelling_cache.clear()
+        self._rounds_cache.clear()
         self._ring_cache.clear()
         self._results.clear()
 
@@ -223,18 +249,32 @@ class MeshSession:
         and one-shot builds expose identical component lists.
         """
         if self._components is None:
-            ordered = sorted(self._members.values(), key=min)
-            self._components = [
-                FaultComponent(index=index, nodes=frozenset(members))
-                for index, members in enumerate(ordered)
-            ]
+            ordered_ids = sorted(self._members, key=self._comp_min.__getitem__)
+            components: List[FaultComponent] = []
+            for index, comp_id in enumerate(ordered_ids):
+                nodes = self._frozen_members.get(comp_id)
+                if nodes is None:
+                    nodes = frozenset(self._members[comp_id])
+                    self._frozen_members[comp_id] = nodes
+                component = self._component_objects.get(nodes)
+                if component is None or component.index != index:
+                    component = FaultComponent(index=index, nodes=nodes)
+                    self._component_objects[nodes] = component
+                components.append(component)
+            self._components = components
             self._prune_component_caches()
         return self._components
 
     def _prune_component_caches(self) -> None:
         """Drop cache entries of components that no longer exist (merged)."""
-        live = {frozenset(members) for members in self._members.values()}
-        for cache in (self._hull_cache, self._labelling_cache, self._ring_cache):
+        live = set(self._frozen_members.values())
+        for cache in (
+            self._hull_cache,
+            self._labelling_cache,
+            self._rounds_cache,
+            self._ring_cache,
+            self._component_objects,
+        ):
             for key in [k for k in cache if k not in live]:
                 del cache[key]
 
@@ -251,7 +291,12 @@ class MeshSession:
         return entry
 
     def component_hull(self, component: FaultComponent) -> ComponentPolygon:
-        """The component's minimum polygon (hull fill), cached."""
+        """The component's minimum polygon (hull fill), cached.
+
+        The cached entry carries the polygon's coordinate array (built by
+        the mask kernel), so reassembling the network-wide result
+        concatenates whole arrays instead of iterating coordinate sets.
+        """
         entry = self._component_artifact(
             self._hull_cache, component, component_minimum_polygon
         )
@@ -259,7 +304,8 @@ class MeshSession:
             # Re-anchor the cached polygon on the current component object
             # (indices shift as components appear) and keep the re-wrapped
             # entry so later builds of the same version hit it directly.
-            entry = ComponentPolygon(component=component, polygon=entry.polygon)
+            # dataclasses.replace preserves the cached coordinate array.
+            entry = dataclasses.replace(entry, component=component)
             self._hull_cache[component.nodes] = entry
         return entry
 
@@ -269,14 +315,35 @@ class MeshSession:
             self._labelling_cache, component, component_polygon_via_labelling
         )
         if entry.component is not component:
-            entry = ComponentPolygon(
-                component=component,
-                polygon=entry.polygon,
-                rounds_scheme1=entry.rounds_scheme1,
-                rounds_scheme2=entry.rounds_scheme2,
-            )
+            entry = dataclasses.replace(entry, component=component)
             self._labelling_cache[component.nodes] = entry
         return entry
+
+    def emulation_rounds(self, components: Sequence[FaultComponent]) -> int:
+        """Maximum labelling-emulation rounds over *components*, cached.
+
+        Round counts depend only on a component's shape, so they are cached
+        per node set; the cache misses are emulated batched
+        (:func:`repro.core.mfp.emulate_rounds_each`) instead of one
+        labelling run per component.  With the mask kernel switched off the
+        per-component labelling emulation runs instead, so the oracle path
+        stays entirely legacy.
+        """
+        if not masks.kernel_enabled():
+            rounds = 0
+            for component in components:
+                entry = self.component_labelling(component)
+                rounds = max(rounds, entry.rounds)
+            return rounds
+        missing = [c for c in components if c.nodes not in self._rounds_cache]
+        if missing:
+            self.cache_info["component_misses"] += len(missing)
+            for component, rounds in zip(missing, emulate_rounds_each(missing)):
+                self._rounds_cache[component.nodes] = rounds
+        self.cache_info["component_hits"] += len(components) - len(missing)
+        return max(
+            (self._rounds_cache[c.nodes] for c in components), default=0
+        )
 
     def component_ring(self, component: FaultComponent):
         """The component's boundary-ring construction, cached."""
@@ -366,9 +433,7 @@ def _incremental_minimum_polygons(
             entry = session.component_hull(component)
         polygons.append(entry)
     if compute_rounds and not via_labelling:
-        for component in components:
-            emulated = session.component_labelling(component)
-            rounds = max(rounds, emulated.rounds)
+        rounds = session.emulation_rounds(components)
     construction = assemble_minimum_polygons(
         session.faults, session.topology, polygons, rounds, components
     )

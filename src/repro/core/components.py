@@ -14,6 +14,9 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
 
+import numpy as np
+
+from repro.geometry import masks
 from repro.geometry.rectangle import Rectangle, bounding_rectangle
 from repro.geometry.boundary import eight_neighbours, region_perimeter
 from repro.types import Coord
@@ -103,6 +106,12 @@ def find_components(
 ) -> List[FaultComponent]:
     """Group *faults* into components using the merge process.
 
+    Dispatches to the vectorized labelling of :mod:`repro.geometry.masks`
+    (the faults are rasterised into their bounding box and labelled with
+    whole-array operations); :func:`find_components_bfs` is the set-based
+    oracle and the fallback for pathologically sparse fault sets.  Both
+    return bit-identical component lists.
+
     Parameters
     ----------
     faults:
@@ -117,6 +126,38 @@ def find_components(
     list[FaultComponent]
         Components in deterministic discovery order (sorted seed nodes).
     """
+    fault_set: Set[Coord] = set(faults)
+    if masks.kernel_enabled():
+        local = masks.try_local_mask(fault_set)
+        if local is not None:
+            mask, (min_x, min_y) = local
+            labels, count = masks.label_mask(mask, connectivity=8 if diagonal else 4)
+            xs, ys = np.nonzero(labels)
+            lab = labels[xs, ys]
+            order = np.argsort(lab, kind="stable")  # keeps (x, y) order per label
+            xl = (xs[order] + min_x).tolist()
+            yl = (ys[order] + min_y).tolist()
+            bounds = np.searchsorted(lab[order], np.arange(1, count + 2)).tolist()
+            return [
+                FaultComponent(
+                    index=index,
+                    nodes=frozenset(
+                        zip(
+                            xl[bounds[index] : bounds[index + 1]],
+                            yl[bounds[index] : bounds[index + 1]],
+                        )
+                    ),
+                )
+                for index in range(count)
+            ]
+    return find_components_bfs(fault_set, diagonal)
+
+
+def find_components_bfs(
+    faults: Iterable[Coord],
+    diagonal: bool = True,
+) -> List[FaultComponent]:
+    """Set-based BFS oracle for :func:`find_components` (same output)."""
     fault_set: Set[Coord] = set(faults)
     unvisited = set(fault_set)
     components: List[FaultComponent] = []

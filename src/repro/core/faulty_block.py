@@ -15,7 +15,8 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.core.labelling import apply_labelling_scheme_1, faults_to_mask
-from repro.core.regions import FaultRegion, regions_from_masks
+from repro.core.regions import FaultRegion, extract_regions_and_index
+from repro.geometry import masks
 from repro.faults.scenario import FaultScenario
 from repro.mesh.status import StatusGrid
 from repro.mesh.topology import Mesh2D, Topology
@@ -30,6 +31,8 @@ class FaultyBlockConstruction:
     regions: List[FaultRegion]
     rounds: int
     model: FaultRegionModel = FaultRegionModel.FAULTY_BLOCK
+    #: Cell -> region-index grid (``-1`` outside every region).
+    region_index: "np.ndarray | None" = field(default=None, compare=False, repr=False)
 
     @property
     def num_disabled_nonfaulty(self) -> int:
@@ -74,8 +77,12 @@ def build_faulty_blocks(
     # Under the faulty block model every unsafe node is disabled.
     grid.disabled = scheme1.labels.copy()
 
-    regions = regions_from_masks(grid.disabled, grid.faulty)
-    return FaultyBlockConstruction(grid=grid, regions=regions, rounds=scheme1.rounds)
+    regions, region_index = extract_regions_and_index(
+        grid.disabled, grid.faulty, build_index=masks.kernel_enabled()
+    )
+    return FaultyBlockConstruction(
+        grid=grid, regions=regions, rounds=scheme1.rounds, region_index=region_index
+    )
 
 
 def build_faulty_blocks_for_scenario(scenario: FaultScenario) -> FaultyBlockConstruction:

@@ -49,17 +49,22 @@ class LabellingResult:
     rounds: int
 
 
-def _shift(mask: np.ndarray, dx: int, dy: int, wrap: bool) -> np.ndarray:
-    """Return *mask* shifted by ``(dx, dy)`` with zero (or wrap) fill.
+def _shift(mask: np.ndarray, dx: int, dy: int, wrap: bool, fill=None) -> np.ndarray:
+    """Return *mask* shifted by ``(dx, dy)`` with zero/*fill* (or wrap) fill.
 
     ``shifted[x, y] == mask[x - dx, y - dy]``: the value each node sees from
     its neighbour at offset ``(-dx, -dy)``.  On a mesh, positions outside the
-    grid contribute ``False`` (a missing neighbour is never unsafe/enabled);
-    on a torus the array wraps around.
+    grid contribute ``False`` (a missing neighbour is never unsafe/enabled),
+    or *fill* when given -- integer label arrays shifted by the mask kernel
+    in :mod:`repro.geometry.masks` use a sentinel fill; on a torus the array
+    wraps around.
     """
     if wrap:
         return np.roll(mask, shift=(dx, dy), axis=(0, 1))
-    result = np.zeros_like(mask)
+    if fill is None:
+        result = np.zeros_like(mask)
+    else:
+        result = np.full_like(mask, fill)
     width, height = mask.shape
     src_x = slice(max(0, -dx), width - max(0, dx))
     dst_x = slice(max(0, dx), width - max(0, -dx))
@@ -196,10 +201,16 @@ def apply_labelling_scheme_2(
 
 
 def faults_to_mask(faults, width: int, height: int) -> np.ndarray:
-    """Build a boolean ``[x, y]`` fault mask from a coordinate collection."""
+    """Build a boolean ``[x, y]`` fault mask from a coordinate collection.
+
+    The whole collection is validated and written with one fancy-index
+    assignment; an out-of-grid fault raises ``ValueError`` naming the first
+    offending coordinate (in iteration order).
+    """
+    from repro.geometry.masks import validated_coords
+
     mask = np.zeros((width, height), dtype=bool)
-    for x, y in faults:
-        if not (0 <= x < width and 0 <= y < height):
-            raise ValueError(f"fault {(x, y)} outside {width}x{height} grid")
-        mask[x, y] = True
+    coords = validated_coords(faults, width, height, kind="fault", where="grid")
+    if coords.size:
+        mask[coords[:, 0], coords[:, 1]] = True
     return mask

@@ -16,6 +16,7 @@ from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.geometry import masks
 from repro.geometry.orthogonal import is_orthogonal_convex, orthogonal_convex_hull
 from repro.geometry.rectangle import Rectangle, bounding_rectangle
 from repro.types import Coord
@@ -117,13 +118,77 @@ def extract_regions(
 
 
 def regions_from_masks(disabled: np.ndarray, faulty: np.ndarray) -> List[FaultRegion]:
-    """Convenience wrapper extracting regions from boolean ``[x, y]`` masks."""
+    """Extract regions from boolean ``[x, y]`` masks.
+
+    Uses the vectorized 4-connected labelling of
+    :mod:`repro.geometry.masks`; falls back to the set-based
+    :func:`extract_regions` oracle when the kernel is switched off.  Both
+    produce bit-identical region lists.
+    """
+    regions, _ = extract_regions_and_index(disabled, faulty, build_index=False)
+    return regions
+
+
+def _regions_from_labels(
+    labels: np.ndarray, count: int, faulty: np.ndarray
+) -> List[FaultRegion]:
+    """Build the :class:`FaultRegion` list from a canonical label grid."""
+    xs, ys = np.nonzero(labels)
+    lab = labels[xs, ys]
+    order = np.argsort(lab, kind="stable")  # keeps (x, y) order per label
+    xs, ys, lab = xs[order], ys[order], lab[order]
+    xl, yl = xs.tolist(), ys.tolist()
+    bounds = np.searchsorted(lab, np.arange(1, count + 2)).tolist()
+    is_fault = faulty[xs, ys]
+    fault_lab = lab[is_fault]
+    fxl = xs[is_fault].tolist()
+    fyl = ys[is_fault].tolist()
+    fault_bounds = np.searchsorted(fault_lab, np.arange(1, count + 2)).tolist()
+    regions: List[FaultRegion] = []
+    for index in range(count):
+        start, end = bounds[index], bounds[index + 1]
+        fstart, fend = fault_bounds[index], fault_bounds[index + 1]
+        regions.append(
+            FaultRegion(
+                index=index,
+                nodes=frozenset(zip(xl[start:end], yl[start:end])),
+                faulty_nodes=frozenset(zip(fxl[fstart:fend], fyl[fstart:fend])),
+            )
+        )
+    return regions
+
+
+def extract_regions_and_index(
+    disabled: np.ndarray,
+    faulty: np.ndarray,
+    build_index: bool = True,
+) -> Tuple[List[FaultRegion], "np.ndarray | None"]:
+    """Extract regions from masks plus the region-index grid.
+
+    The region-index grid maps every cell to the index of the region that
+    contains it (``-1`` outside every region); it gives the routing layer
+    O(1) region membership without rebuilding a node->region dict per
+    router instantiation.  Pass ``build_index=False`` to skip it when only
+    the region list is needed.
+    """
+    if masks.kernel_enabled():
+        labels, count = masks.label_mask(disabled, connectivity=4)
+        regions = _regions_from_labels(labels, count, faulty)
+        index_grid = (labels.astype(np.int32) - 1) if build_index else None
+        return regions, index_grid
     disabled_nodes = {(int(x), int(y)) for x, y in zip(*np.nonzero(disabled))}
     fault_nodes = {(int(x), int(y)) for x, y in zip(*np.nonzero(faulty))}
-    return extract_regions(disabled_nodes, fault_nodes)
+    regions = extract_regions(disabled_nodes, fault_nodes)
+    index_grid = None
+    if build_index:
+        index_grid = np.full(disabled.shape, -1, dtype=np.int32)
+        for region in regions:
+            pts = np.asarray(sorted(region.nodes))
+            index_grid[pts[:, 0], pts[:, 1]] = region.index
+    return regions, index_grid
 
 
-def convexify_regions(grid) -> List[FaultRegion]:
+def convexify_regions(grid, return_index: bool = False):
     """Extract regions from *grid*, filling merged regions to convexity.
 
     Piling independently constructed per-component polygons (the MFP/DMFP
@@ -135,12 +200,38 @@ def convexify_regions(grid) -> List[FaultRegion]:
     the fixpoint loop (it terminates because the disabled set only grows
     and is bounded by the mesh).  In the common non-overlapping case this
     is a single extraction with no extra work.
+
+    With ``return_index=True`` the result is ``(regions, region_index)``
+    where the index grid maps cells to region indices (see
+    :func:`extract_regions_and_index`).
     """
+    if masks.kernel_enabled():
+        while True:
+            labels, count = masks.label_mask(grid.disabled, connectivity=4)
+            dirty_labels = masks.nonconvex_labels(labels, count)
+            if dirty_labels.size == 0:
+                # Only the final, convex partition is materialised as
+                # FaultRegion objects; intermediate fixpoint iterations
+                # stay entirely in array land.
+                regions = _regions_from_labels(labels, count, grid.faulty)
+                if return_index:
+                    return regions, labels.astype(np.int32) - 1
+                return regions
+            for label in dirty_labels.tolist():
+                cells = labels == label
+                xs, ys = np.nonzero(cells)
+                x0, x1 = int(xs.min()), int(xs.max())
+                y0, y1 = int(ys.min()), int(ys.max())
+                hull = masks.hull_mask(cells[x0 : x1 + 1, y0 : y1 + 1])
+                grid.disabled[x0 : x1 + 1, y0 : y1 + 1] |= hull
+                grid.unsafe[x0 : x1 + 1, y0 : y1 + 1] |= hull
     while True:
-        regions = regions_from_masks(grid.disabled, grid.faulty)
+        regions, index_grid = extract_regions_and_index(
+            grid.disabled, grid.faulty, build_index=return_index
+        )
         dirty = [r for r in regions if not r.is_orthogonal_convex]
         if not dirty:
-            return regions
+            return (regions, index_grid) if return_index else regions
         for region in dirty:
             for node in orthogonal_convex_hull(region.nodes):
                 if grid.topology.contains(node) and not grid.disabled[node]:

@@ -14,15 +14,18 @@ The paper's contribution (:mod:`repro.core.mfp`) removes that gap.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
+
+import numpy as np
 
 from repro.core.labelling import (
     apply_labelling_scheme_1,
     apply_labelling_scheme_2,
     faults_to_mask,
 )
-from repro.core.regions import FaultRegion, regions_from_masks
+from repro.core.regions import FaultRegion, extract_regions_and_index
+from repro.geometry import masks
 from repro.faults.scenario import FaultScenario
 from repro.mesh.status import StatusGrid
 from repro.mesh.topology import Mesh2D, Topology
@@ -38,6 +41,8 @@ class SubMinimumConstruction:
     rounds_scheme1: int
     rounds_scheme2: int
     model: FaultRegionModel = FaultRegionModel.SUB_MINIMUM_FAULTY_POLYGON
+    #: Cell -> region-index grid (``-1`` outside every region).
+    region_index: "np.ndarray | None" = field(default=None, compare=False, repr=False)
 
     @property
     def rounds(self) -> int:
@@ -88,12 +93,15 @@ def build_sub_minimum_polygons(
     grid.unsafe = scheme1.labels.copy()
     grid.disabled = scheme2.labels.copy()
 
-    regions = regions_from_masks(grid.disabled, grid.faulty)
+    regions, region_index = extract_regions_and_index(
+        grid.disabled, grid.faulty, build_index=masks.kernel_enabled()
+    )
     return SubMinimumConstruction(
         grid=grid,
         regions=regions,
         rounds_scheme1=scheme1.rounds,
         rounds_scheme2=scheme2.rounds,
+        region_index=region_index,
     )
 
 

@@ -24,8 +24,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.core.components import FaultComponent, find_components
 from repro.core.regions import FaultRegion, convexify_regions
+from repro.geometry import masks
 from repro.distributed.notification import NotificationPlan, plan_notifications
 from repro.distributed.ring import RingConstruction, construct_boundary_ring
 from repro.faults.scenario import FaultScenario
@@ -68,6 +71,9 @@ class DistributedMinimumPolygonConstruction:
     per_component: List[ComponentConstruction]
     rounds: int
     model: FaultRegionModel = FaultRegionModel.MINIMUM_FAULTY_POLYGON
+    #: Grid mapping every cell to the index of the region containing it
+    #: (-1 outside every region); the routing layer's O(1) membership test.
+    region_index: Optional[np.ndarray] = field(default=None, compare=False, repr=False)
 
     @property
     def num_disabled_nonfaulty(self) -> int:
@@ -106,19 +112,44 @@ def assemble_distributed(
     the boundary rings themselves (notably the incremental
     :class:`repro.api.MeshSession`) can reuse the final status piling.
     """
-    fault_set = set(faults)
     grid = StatusGrid(topology, faults)
-    for entry in per_component:
-        for node in entry.polygon:
-            if node in fault_set or not topology.contains(node):
+    if masks.kernel_enabled():
+        # Whole-array piling: OR every polygon into one mask (clipped to the
+        # grid); injected faults are already unsafe/disabled, so including
+        # them in the OR preserves the superseding rule bit-for-bit.
+        width, height = grid.disabled.shape
+        painted = np.zeros((width, height), dtype=bool)
+        for entry in per_component:
+            polygon = entry.polygon
+            if not polygon:
                 continue
-            grid.mark_unsafe(node)
-            grid.mark_disabled(node)
+            pts = np.asarray(list(polygon))
+            keep = (
+                (pts[:, 0] >= 0)
+                & (pts[:, 0] < width)
+                & (pts[:, 1] >= 0)
+                & (pts[:, 1] < height)
+            )
+            pts = pts[keep]
+            painted[pts[:, 0], pts[:, 1]] = True
+        grid.unsafe |= painted
+        grid.disabled |= painted
+    else:
+        fault_set = set(faults)
+        for entry in per_component:
+            for node in entry.polygon:
+                if node in fault_set or not topology.contains(node):
+                    continue
+                grid.mark_unsafe(node)
+                grid.mark_disabled(node)
 
     # Same convexity repair as the centralized assemble: overlapping
     # polygons piled into one region must stay orthogonal convex, and the
     # distributed result must keep matching the centralized one exactly.
-    regions = convexify_regions(grid)
+    if masks.kernel_enabled():
+        regions, region_index = convexify_regions(grid, return_index=True)
+    else:
+        regions, region_index = convexify_regions(grid), None
     rounds = max((entry.rounds for entry in per_component), default=0)
     return DistributedMinimumPolygonConstruction(
         grid=grid,
@@ -126,6 +157,7 @@ def assemble_distributed(
         components=components,
         per_component=per_component,
         rounds=rounds,
+        region_index=region_index,
     )
 
 

@@ -18,8 +18,14 @@ constructions are built on:
 * :func:`~repro.geometry.boundary.boundary_ring` -- the ring of non-member
   nodes surrounding a component, walked clockwise starting from the
   west-most south-west corner (used by the distributed solution).
+* :mod:`~repro.geometry.masks` -- the vectorized bitmask kernel backing the
+  primitives above on large meshes (switchable via
+  :func:`~repro.geometry.masks.use_kernel`; the set-based implementations
+  remain the differential-test oracle).
 """
 
+from repro.geometry import masks
+from repro.geometry.masks import kernel_enabled, use_kernel
 from repro.geometry.rectangle import Rectangle, bounding_rectangle
 from repro.geometry.orthogonal import (
     is_orthogonal_convex,
@@ -40,6 +46,9 @@ from repro.geometry.boundary import (
 )
 
 __all__ = [
+    "masks",
+    "kernel_enabled",
+    "use_kernel",
     "Rectangle",
     "bounding_rectangle",
     "is_orthogonal_convex",

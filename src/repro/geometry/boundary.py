@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
+from repro.geometry import masks
 from repro.types import Coord, Side
 
 #: Unit steps for the four cardinal directions, in clockwise order starting
@@ -118,6 +119,10 @@ def region_perimeter(region: Iterable[Coord]) -> int:
     to circle the component.
     """
     region_set = set(region)
+    if masks.kernel_enabled():
+        local = masks.try_local_mask(region_set)
+        if local is not None:
+            return masks.perimeter_mask(local[0])
     perimeter = 0
     for node in region_set:
         for neighbour in four_neighbours(node):

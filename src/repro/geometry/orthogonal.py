@@ -7,13 +7,21 @@ The paper's Definition 1:
     all the nodes on the line between them are also inside the region.
 
 The *minimum orthogonal convex hull* of a node set ``S`` is the smallest
-orthogonal convex superset of ``S``.  It is computed here by repeatedly
-filling every concave row and column section (Definition 3) until a fixed
-point is reached.  Every orthogonal convex superset of ``S`` must contain
-every node added by such a fill step, so the fixed point is contained in all
-of them; and the fixed point is itself orthogonal convex, hence it is the
-unique minimum.  This function is the reference the centralized and
-distributed minimum-faulty-polygon constructions are validated against.
+orthogonal convex superset of ``S``.  It is computed by repeatedly filling
+every concave row and column section (Definition 3) until a fixed point is
+reached.  Every orthogonal convex superset of ``S`` must contain every node
+added by such a fill step, so the fixed point is contained in all of them;
+and the fixed point is itself orthogonal convex, hence it is the unique
+minimum.  This function is the reference the centralized and distributed
+minimum-faulty-polygon constructions are validated against.
+
+Two implementations coexist.  The public functions dispatch to the
+vectorized bitmask kernel of :mod:`repro.geometry.masks` (the region is
+rasterised into its bounding box and the spans are filled with whole-array
+operations); the original per-cell set implementations are kept under
+``*_sets`` names as the differential-test oracle and as the fallback for
+pathologically sparse regions.  Both produce bit-identical results, which
+``tests/test_geometry_masks.py`` asserts on randomized inputs.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
 
+from repro.geometry import masks
 from repro.types import Coord
 
 
@@ -36,14 +45,11 @@ def _rows_and_columns(
     return rows, cols
 
 
-def is_orthogonal_convex(region: Iterable[Coord]) -> bool:
-    """Return ``True`` when *region* satisfies the paper's Definition 1.
+# -- set-based oracle implementations ------------------------------------------------
 
-    Equivalent formulation used here: in every row the occupied column
-    indices form a contiguous run, and in every column the occupied row
-    indices form a contiguous run.  The empty region and single nodes are
-    trivially orthogonal convex.
-    """
+
+def is_orthogonal_convex_sets(region: Iterable[Coord]) -> bool:
+    """Set-based oracle for :func:`is_orthogonal_convex`."""
     region_set = set(region)
     rows, cols = _rows_and_columns(region_set)
     for y, xs in rows.items():
@@ -62,14 +68,8 @@ def is_orthogonal_convex(region: Iterable[Coord]) -> bool:
     return True
 
 
-def orthogonal_convexity_violations(region: Iterable[Coord]) -> Set[Coord]:
-    """Return the nodes that must be added to make *region* orthogonal convex.
-
-    Only the *first layer* of violations is returned (the nodes lying on a
-    horizontal or vertical segment between two region nodes but outside the
-    region); adding them may expose further violations.  Use
-    :func:`orthogonal_convex_hull` for the transitive closure.
-    """
+def orthogonal_convexity_violations_sets(region: Iterable[Coord]) -> Set[Coord]:
+    """Set-based oracle for :func:`orthogonal_convexity_violations`."""
     region_set = set(region)
     missing: Set[Coord] = set()
     rows, cols = _rows_and_columns(region_set)
@@ -84,6 +84,54 @@ def orthogonal_convexity_violations(region: Iterable[Coord]) -> Set[Coord]:
     return missing
 
 
+def orthogonal_convex_hull_sets(region: Iterable[Coord]) -> FrozenSet[Coord]:
+    """Set-based oracle for :func:`orthogonal_convex_hull`."""
+    current: Set[Coord] = set(region)
+    if not current:
+        return frozenset()
+    while True:
+        missing = orthogonal_convexity_violations_sets(current)
+        if not missing:
+            return frozenset(current)
+        current |= missing
+
+
+# -- kernel-backed public API --------------------------------------------------------
+
+
+def is_orthogonal_convex(region: Iterable[Coord]) -> bool:
+    """Return ``True`` when *region* satisfies the paper's Definition 1.
+
+    Equivalent formulation: in every row the occupied column indices form a
+    contiguous run, and in every column the occupied row indices form a
+    contiguous run.  The empty region and single nodes are trivially
+    orthogonal convex.
+    """
+    region_set = set(region)
+    if masks.kernel_enabled():
+        local = masks.try_local_mask(region_set)
+        if local is not None:
+            return masks.is_convex_mask(local[0])
+    return is_orthogonal_convex_sets(region_set)
+
+
+def orthogonal_convexity_violations(region: Iterable[Coord]) -> Set[Coord]:
+    """Return the nodes that must be added to make *region* orthogonal convex.
+
+    Only the *first layer* of violations is returned (the nodes lying on a
+    horizontal or vertical segment between two region nodes but outside the
+    region); adding them may expose further violations.  Use
+    :func:`orthogonal_convex_hull` for the transitive closure.
+    """
+    region_set = set(region)
+    if masks.kernel_enabled():
+        local = masks.try_local_mask(region_set)
+        if local is not None:
+            mask, offset = local
+            return set(masks.mask_to_coords(masks.span_violations(mask), offset))
+    return orthogonal_convexity_violations_sets(region_set)
+
+
 def orthogonal_convex_hull(region: Iterable[Coord]) -> FrozenSet[Coord]:
     """Return the minimum orthogonal convex superset of *region*.
 
@@ -95,14 +143,13 @@ def orthogonal_convex_hull(region: Iterable[Coord]) -> FrozenSet[Coord]:
 
     The empty region yields the empty hull.
     """
-    current: Set[Coord] = set(region)
-    if not current:
-        return frozenset()
-    while True:
-        missing = orthogonal_convexity_violations(current)
-        if not missing:
-            return frozenset(current)
-        current |= missing
+    region_set = set(region)
+    if masks.kernel_enabled():
+        local = masks.try_local_mask(region_set)
+        if local is not None:
+            mask, offset = local
+            return masks.mask_to_frozenset(masks.hull_mask(mask), offset)
+    return orthogonal_convex_hull_sets(region_set)
 
 
 def hull_fill_nodes(region: Iterable[Coord]) -> FrozenSet[Coord]:

@@ -18,6 +18,7 @@ from typing import Dict, Iterable, Iterator, List, Set
 
 import numpy as np
 
+from repro.geometry.masks import validated_coords
 from repro.mesh.topology import Topology
 from repro.types import ActivityLabel, Coord, NodeKind, SafetyLabel
 
@@ -38,12 +39,18 @@ class StatusGrid:
 
     def __init__(self, topology: Topology, faults: Iterable[Coord] = ()) -> None:
         self.topology = topology
-        shape = (topology.width, topology.height)
-        self.faulty = np.zeros(shape, dtype=bool)
-        self.unsafe = np.zeros(shape, dtype=bool)
-        self.disabled = np.zeros(shape, dtype=bool)
-        for node in faults:
-            self.mark_faulty(node)
+        width, height = topology.width, topology.height
+        self.faulty = np.zeros((width, height), dtype=bool)
+        self.unsafe = np.zeros((width, height), dtype=bool)
+        self.disabled = np.zeros((width, height), dtype=bool)
+        # One validated fancy-index assignment instead of a per-fault
+        # mark_faulty() loop -- construction sweeps build thousands of
+        # grids per second.
+        coords = validated_coords(faults, width, height, kind="node", where="topology")
+        if coords.size:
+            self.faulty[coords[:, 0], coords[:, 1]] = True
+            self.unsafe[coords[:, 0], coords[:, 1]] = True
+            self.disabled[coords[:, 0], coords[:, 1]] = True
 
     # -- mutation --------------------------------------------------------------
 

@@ -28,6 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.core.regions import FaultRegion
 from repro.geometry.boundary import boundary_ring
 from repro.geometry.rectangle import Rectangle, bounding_rectangle
@@ -69,13 +71,25 @@ class RouteResult:
 
 
 class ExtendedECubeRouter:
-    """Route messages around a fixed set of fault regions."""
+    """Route messages around a fixed set of fault regions.
+
+    Region membership is answered from a whole-grid *region-index* array
+    (cell -> region index, ``-1`` outside every region): ``is_disabled`` and
+    the abnormal-mode region lookup are O(1) array reads, and instantiating
+    a router is O(total region size) in vectorized assignments instead of a
+    Python dict insert per node.  Constructions built by the mask kernel
+    already carry the index grid (``region_index`` on the construction
+    result); passing it here skips even the vectorized build.  Boundary
+    rings (and their position maps) are computed lazily per region, only
+    when a message actually enters abnormal mode around that region.
+    """
 
     def __init__(
         self,
         topology: Topology,
         regions: Sequence[FaultRegion] | Iterable[Iterable[Coord]],
         max_hops: Optional[int] = None,
+        region_index: Optional[np.ndarray] = None,
     ) -> None:
         self.topology = topology
         self._regions: List[FrozenSet[Coord]] = []
@@ -84,13 +98,32 @@ class ExtendedECubeRouter:
                 self._regions.append(frozenset(region.nodes))
             else:
                 self._regions.append(frozenset(region))
-        self.disabled: Set[Coord] = set()
-        self._region_of: Dict[Coord, int] = {}
-        for index, nodes in enumerate(self._regions):
-            for node in nodes:
-                self.disabled.add(node)
-                self._region_of[node] = index
+        width, height = topology.width, topology.height
+        self._shape = (width, height)
+        #: Region nodes outside the grid (legal for ad-hoc caller-supplied
+        #: regions; constructions never produce them).
+        self._extra_disabled: Dict[Coord, int] = {}
+        if region_index is not None and region_index.shape == self._shape:
+            self._region_index = region_index
+        else:
+            self._region_index = np.full(self._shape, -1, dtype=np.int32)
+            for index, nodes in enumerate(self._regions):
+                if not nodes:
+                    continue
+                pts = np.asarray(list(nodes))
+                keep = (
+                    (pts[:, 0] >= 0)
+                    & (pts[:, 0] < width)
+                    & (pts[:, 1] >= 0)
+                    & (pts[:, 1] < height)
+                )
+                self._region_index[pts[keep, 0], pts[keep, 1]] = index
+                for x, y in pts[~keep]:
+                    self._extra_disabled[(int(x), int(y))] = index
+        self._disabled_mask = self._region_index >= 0
+        self._disabled_set: Optional[Set[Coord]] = None
         self._rings: Dict[int, List[Coord]] = {}
+        self._ring_positions: Dict[int, Dict[Coord, int]] = {}
         self._boxes: Dict[int, Rectangle] = {}
         self.max_hops = max_hops if max_hops is not None else 8 * (
             topology.width + topology.height
@@ -98,14 +131,64 @@ class ExtendedECubeRouter:
 
     # -- helpers -----------------------------------------------------------------
 
+    @property
+    def disabled(self) -> Set[Coord]:
+        """Every node belonging to a fault region, as a coordinate set.
+
+        Kept for callers that want the set view (tests, diagnostics);
+        materialised lazily from the region-index grid -- routing itself
+        never touches it.
+        """
+        if self._disabled_set is None:
+            xs, ys = np.nonzero(self._disabled_mask)
+            self._disabled_set = set(zip(xs.tolist(), ys.tolist()))
+            self._disabled_set.update(self._extra_disabled)
+        return self._disabled_set
+
+    def enabled_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``(xs, ys)`` index arrays of all enabled nodes, ``(x, y)``-sorted."""
+        return np.nonzero(~self._disabled_mask)
+
+    def enabled_nodes(self) -> List[Coord]:
+        """Every grid node outside all fault regions, in ``(x, y)`` order.
+
+        Vectorized complement of the disabled mask -- the same list the
+        simulator previously built with one ``is_disabled`` call per node.
+        """
+        xs, ys = self.enabled_arrays()
+        return list(zip(xs.tolist(), ys.tolist()))
+
     def is_disabled(self, node: Coord) -> bool:
         """Whether *node* belongs to any fault region."""
-        return node in self.disabled
+        x, y = node
+        if 0 <= x < self._shape[0] and 0 <= y < self._shape[1]:
+            return bool(self._disabled_mask[x, y])
+        return node in self._extra_disabled
+
+    def region_of(self, node: Coord) -> int:
+        """Index of the region containing *node* (``-1`` when enabled)."""
+        x, y = node
+        if 0 <= x < self._shape[0] and 0 <= y < self._shape[1]:
+            return int(self._region_index[x, y])
+        return self._extra_disabled.get(node, -1)
 
     def _ring(self, region_index: int) -> List[Coord]:
         if region_index not in self._rings:
             self._rings[region_index] = boundary_ring(self._regions[region_index])
         return self._rings[region_index]
+
+    def _ring_position(self, region_index: int, node: Coord) -> Optional[int]:
+        """First position of *node* on the region's ring (``None`` if absent).
+
+        The position map is built once per ring on first use -- repeated
+        abnormal-mode entries then cost O(1) instead of a linear scan.
+        """
+        if region_index not in self._ring_positions:
+            positions: Dict[Coord, int] = {}
+            for position, member in enumerate(self._ring(region_index)):
+                positions.setdefault(member, position)
+            self._ring_positions[region_index] = positions
+        return self._ring_positions[region_index].get(node)
 
     def _box(self, region_index: int) -> Rectangle:
         if region_index not in self._boxes:
@@ -152,19 +235,20 @@ class ExtendedECubeRouter:
     def _traverse(
         self,
         ring: List[Coord],
-        entry: Coord,
+        entry_index: int,
         step: int,
         message_type: MessageType,
         destination: Coord,
         box: Rectangle,
     ) -> Tuple[Optional[List[Coord]], str]:
-        """Walk *ring* from *entry* in direction *step* until the region is cleared.
+        """Walk *ring* from position *entry_index* in direction *step* until
+        the region is cleared.
 
         Returns ``(hops, reason)``: the hop list when the traversal succeeds,
         or ``None`` plus a failure reason when it walks off the mesh, into
         another region, or all the way around without clearing the region.
         """
-        index = ring.index(entry)
+        index = entry_index
         hops: List[Coord] = []
         for _ in range(len(ring)):
             index = (index + step) % len(ring)
@@ -211,10 +295,11 @@ class ExtendedECubeRouter:
                 continue
 
             # Abnormal mode: traverse the ring of the blocking region.
-            region_index = self._region_of[nxt]
+            region_index = self.region_of(nxt)
             box = self._box(region_index)
             ring = self._ring(region_index)
-            if current not in ring:
+            entry_index = self._ring_position(region_index, current)
+            if entry_index is None:
                 return RouteResult(
                     source,
                     destination,
@@ -232,7 +317,7 @@ class ExtendedECubeRouter:
             detour, reason = None, "could not clear the fault region"
             for step in (preferred, -preferred):
                 detour, reason = self._traverse(
-                    ring, current, step, message_type, destination, box
+                    ring, entry_index, step, message_type, destination, box
                 )
                 if detour is not None:
                     break

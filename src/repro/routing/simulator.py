@@ -29,7 +29,14 @@ from repro.types import Coord
 
 @dataclass
 class RoutingStats:
-    """Aggregate statistics of one routing experiment."""
+    """Aggregate statistics of one routing experiment.
+
+    ``collect_results`` keeps every individual :class:`RouteResult` in
+    ``results``.  It is off by default: large sweeps route millions of
+    messages and only need the scalar aggregates, so the unbounded
+    per-message list would dominate memory.  Opt in for tests and for
+    post-hoc path analysis (e.g. :meth:`RoutingSimulator.deadlock_free`).
+    """
 
     attempted: int = 0
     delivered: int = 0
@@ -39,6 +46,7 @@ class RoutingStats:
     minimal_routes: int = 0
     abnormal_routes: int = 0
     results: List[RouteResult] = field(default_factory=list)
+    collect_results: bool = False
 
     @property
     def delivery_rate(self) -> float:
@@ -68,7 +76,8 @@ class RoutingStats:
     def record(self, result: RouteResult) -> None:
         """Fold one route result into the aggregate."""
         self.attempted += 1
-        self.results.append(result)
+        if self.collect_results:
+            self.results.append(result)
         if not result.delivered:
             self.failed += 1
             return
@@ -89,13 +98,18 @@ class RoutingSimulator:
         topology: Topology,
         regions: Sequence[FaultRegion] | Iterable[Iterable[Coord]],
         seed: int = 0,
+        collect_results: bool = False,
+        region_index: Optional[np.ndarray] = None,
     ) -> None:
         self.topology = topology
-        self.router = ExtendedECubeRouter(topology, regions)
+        self.collect_results = collect_results
+        self.router = ExtendedECubeRouter(topology, regions, region_index=region_index)
         self.rng = np.random.default_rng(seed)
-        self._enabled = [
-            node for node in topology.nodes() if not self.router.is_disabled(node)
-        ]
+        # Enabled endpoints as index arrays, in the same (x, y) order as
+        # iterating topology.nodes(); coordinate tuples are only built for
+        # the pairs actually drawn, so instantiating a simulator costs one
+        # nonzero() instead of materialising ~width*height tuples.
+        self._enabled_xs, self._enabled_ys = self.router.enabled_arrays()
 
     @classmethod
     def from_construction(
@@ -103,6 +117,7 @@ class RoutingSimulator:
         construction,
         seed: int = 0,
         topology: Optional[Topology] = None,
+        collect_results: bool = False,
     ) -> "RoutingSimulator":
         """Build a simulator from a construction result.
 
@@ -113,37 +128,69 @@ class RoutingSimulator:
 
             result = repro.api.get_construction("mfp").build(scenario)
             stats = RoutingSimulator.from_construction(result, seed=1).run(500)
+
+        Constructions built by the mask kernel carry a region-index grid;
+        it is handed to the router so region membership is an O(1) array
+        read from the start.
         """
         if topology is None:
             topology = construction.grid.topology
-        return cls(topology, construction.regions, seed=seed)
+        region_index = getattr(construction, "region_index", None)
+        if region_index is not None and region_index.shape != (
+            topology.width,
+            topology.height,
+        ):
+            region_index = None
+        return cls(
+            topology,
+            construction.regions,
+            seed=seed,
+            collect_results=collect_results,
+            region_index=region_index,
+        )
 
     @property
     def num_enabled(self) -> int:
         """Number of nodes still available as message endpoints."""
-        return len(self._enabled)
+        return int(self._enabled_xs.size)
 
     def random_pairs(self, count: int) -> List[Tuple[Coord, Coord]]:
         """Draw random (source, destination) pairs among enabled nodes."""
-        if len(self._enabled) < 2:
+        num = self.num_enabled
+        if num < 2:
             return []
-        pairs: List[Tuple[Coord, Coord]] = []
-        indices = self.rng.integers(0, len(self._enabled), size=(count, 2))
-        for a, b in indices:
-            if a == b:
-                b = (b + 1) % len(self._enabled)
-            pairs.append((self._enabled[int(a)], self._enabled[int(b)]))
-        return pairs
+        indices = self.rng.integers(0, num, size=(count, 2))
+        sources, destinations = indices[:, 0], indices[:, 1]
+        destinations = np.where(
+            sources == destinations, (destinations + 1) % num, destinations
+        )
+        return list(
+            zip(
+                zip(
+                    self._enabled_xs[sources].tolist(),
+                    self._enabled_ys[sources].tolist(),
+                ),
+                zip(
+                    self._enabled_xs[destinations].tolist(),
+                    self._enabled_ys[destinations].tolist(),
+                ),
+            )
+        )
 
     def run(self, num_messages: int = 1000) -> RoutingStats:
         """Route *num_messages* random messages and return the statistics."""
-        stats = RoutingStats()
+        stats = RoutingStats(collect_results=self.collect_results)
         for source, destination in self.random_pairs(num_messages):
             stats.record(self.router.route(source, destination))
         return stats
 
     def deadlock_free(self, stats: RoutingStats) -> bool:
         """Check the channel-dependency graph of delivered routes for cycles."""
+        if stats.delivered and not stats.results:
+            raise ValueError(
+                "deadlock_free() needs the individual route results; run the "
+                "simulator with collect_results=True"
+            )
         assignments = [
             assign_channels(result) for result in stats.results if result.delivered
         ]

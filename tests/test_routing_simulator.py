@@ -47,10 +47,20 @@ class TestRoutingSimulator:
         # region may expose channel-dependency cycles because the simulator
         # uses a simplified channel assignment (see repro.routing.channels),
         # so there the check is exercised only for its boolean verdict.
-        fault_free = RoutingSimulator(Mesh2D(10, 10), [], seed=4)
+        fault_free = RoutingSimulator(Mesh2D(10, 10), [], seed=4, collect_results=True)
         assert fault_free.deadlock_free(fault_free.run(200))
-        simulator = RoutingSimulator(Mesh2D(10, 10), [figure2_region], seed=4)
+        simulator = RoutingSimulator(
+            Mesh2D(10, 10), [figure2_region], seed=4, collect_results=True
+        )
         assert simulator.deadlock_free(simulator.run(200)) in (True, False)
+
+    def test_results_are_not_collected_by_default(self, figure2_region):
+        simulator = RoutingSimulator(Mesh2D(10, 10), [figure2_region], seed=4)
+        stats = simulator.run(50)
+        assert stats.attempted == 50
+        assert stats.results == []
+        with pytest.raises(ValueError, match="collect_results"):
+            simulator.deadlock_free(stats)
 
     def test_seeded_runs_are_reproducible(self, figure2_region):
         a = RoutingSimulator(Mesh2D(10, 10), [figure2_region], seed=5).run(100)
