@@ -8,7 +8,6 @@ faulty blocks much worse while minimum polygons stay close to the fault
 count, so the relative advantage of the paper's model grows.
 """
 
-import pytest
 
 from repro.core.faulty_block import build_faulty_blocks
 from repro.core.mfp import build_minimum_polygons

@@ -8,7 +8,6 @@ sizes (roughly constant at fixed density), not the mesh size, which is the
 scalability argument for the component-based constructions.
 """
 
-import pytest
 
 from repro.core.faulty_block import build_faulty_blocks
 from repro.core.mfp import build_minimum_polygons

@@ -7,37 +7,33 @@ routes the same random traffic over FB, FP and MFP regions built from the
 same fault pattern and records delivery rate, mean hops and detour.
 """
 
-import pytest
-
-from repro.core.faulty_block import build_faulty_blocks
-from repro.core.mfp import build_minimum_polygons
-from repro.core.sub_minimum import build_sub_minimum_polygons
+from repro.api import MeshSession, MinimumPolygonOptions
 from repro.faults.scenario import generate_scenario
-from repro.routing.simulator import RoutingSimulator
 
 from conftest import record_result
 
 NUM_MESSAGES = 400
+
+#: The routing comparison never reads the CMFP round counts.
+CONSTRUCTION_OPTIONS = {"mfp": MinimumPolygonOptions(compute_rounds=False)}
 
 
 def _routing_comparison(num_faults, width, seed):
     scenario = generate_scenario(
         num_faults=num_faults, width=width, model="clustered", seed=seed
     )
-    topology = scenario.topology()
-    constructions = {
-        "FB": build_faulty_blocks(scenario.faults, topology=topology),
-        "FP": build_sub_minimum_polygons(scenario.faults, topology=topology),
-        "MFP": build_minimum_polygons(
-            scenario.faults, topology=topology, compute_rounds=False
-        ),
-    }
+    session = MeshSession.from_scenario(scenario)
     rows = {}
-    for name, construction in constructions.items():
-        simulator = RoutingSimulator(topology, construction.regions, seed=seed)
-        stats = simulator.run(NUM_MESSAGES)
-        rows[name] = {
-            "enabled_nodes": simulator.num_enabled,
+    for key in ("fb", "fp", "mfp"):
+        stats = session.route(
+            key,
+            traffic="uniform",
+            messages=NUM_MESSAGES,
+            seed=seed,
+            construction_options=CONSTRUCTION_OPTIONS.get(key),
+        )
+        rows[stats.model] = {
+            "enabled_nodes": stats.enabled,
             "delivery_rate": stats.delivery_rate,
             "mean_hops": stats.mean_hops,
             "mean_detour": stats.mean_detour,

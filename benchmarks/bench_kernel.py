@@ -41,7 +41,8 @@ from repro.core.mfp import build_minimum_polygons
 from repro.distributed.dmfp import build_minimum_polygons_distributed
 from repro.faults.scenario import generate_scenario
 from repro.geometry import masks
-from repro.routing.simulator import RoutingSimulator
+from repro.routing.registry import get_router
+from repro.routing.traffic import TrafficContext, get_traffic
 
 SCHEMA = "repro.bench_kernel/v1"
 DEFAULT_OUT = Path(__file__).parent / "results" / "BENCH_kernel.json"
@@ -153,29 +154,35 @@ def bench_routing(scenario, topology, builds: int, messages: int, seed: int) -> 
         construction = build_minimum_polygons(
             scenario.faults, topology=topology, compute_rounds=False
         )
+    router_spec = get_router("extended-ecube")
+    uniform = get_traffic("uniform")
+
+    def _instantiate():
+        router = router_spec.build(construction)
+        return router, TrafficContext.from_router(router)
+
+    def _route_batch(batch_seed):
+        router, context = _instantiate()
+        batch = uniform.generate(context, messages, seed=batch_seed)
+        return sum(
+            1
+            for source, destination in batch.pairs()
+            if router.route(source, destination).delivered
+        )
 
     def kernel_sweep():
-        total = 0
-        for build in range(builds):
-            simulator = RoutingSimulator.from_construction(
-                construction, seed=seed + build
-            )
-            total += simulator.run(messages).delivered
-        return total
+        return sum(_route_batch(seed + build) for build in range(builds))
 
     def legacy_sweep():
         total = 0
         for build in range(builds):
             _seed_style_router_setup(topology, construction.regions)
-            simulator = RoutingSimulator.from_construction(
-                construction, seed=seed + build
-            )
-            total += simulator.run(messages).delivered
+            total += _route_batch(seed + build)
         return total
 
     def kernel_instantiate():
-        for build in range(builds):
-            RoutingSimulator.from_construction(construction, seed=seed + build)
+        for _ in range(builds):
+            _instantiate()
 
     def legacy_instantiate():
         for _ in range(builds):

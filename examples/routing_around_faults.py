@@ -8,8 +8,13 @@ routed around the region counter-clockwise and becomes "normal" again at
 
 Part 2 measures why the fault model matters for the routing layer: the same
 clustered fault pattern is turned into FB, FP and MFP regions, the same
-random traffic is routed over each, and the number of usable endpoints,
-delivery rate and detour overhead are compared.
+random traffic is routed over each through the session's routing facade
+(``session.route``), and the number of usable endpoints, delivery rate and
+detour overhead are compared.
+
+Part 3 runs the synthetic traffic suite of the traffic registry (uniform,
+transpose, bit reversal, hotspot, nearest neighbour, permutation) over the
+MFP regions, comparing the workloads' delivery and detour behaviour.
 
 Run with::
 
@@ -18,8 +23,8 @@ Run with::
 
 from __future__ import annotations
 
-from repro import ExtendedECubeRouter, Mesh2D, RoutingSimulator, generate_scenario
-from repro.api import MeshSession
+from repro import ExtendedECubeRouter, Mesh2D, generate_scenario
+from repro.api import MeshSession, traffic_keys
 
 
 def figure2_example() -> None:
@@ -40,14 +45,11 @@ def model_comparison() -> None:
     print("=" * 50)
     scenario = generate_scenario(num_faults=120, width=40, model="clustered", seed=5)
     session = MeshSession.from_scenario(scenario)
-    constructions = {key: session.build(key) for key in ("fb", "fp", "mfp")}
     print(f"{'model':>5} {'enabled':>8} {'delivery':>9} {'mean hops':>10} {'detour':>7}")
-    for construction in constructions.values():
-        name = construction.label
-        simulator = RoutingSimulator.from_construction(construction, seed=1)
-        stats = simulator.run(500)
+    for key in ("fb", "fp", "mfp"):
+        stats = session.route(key, traffic="uniform", messages=500, seed=1)
         print(
-            f"{name:>5} {simulator.num_enabled:>8} {stats.delivery_rate:>9.3f} "
+            f"{stats.model:>5} {stats.enabled:>8} {stats.delivery_rate:>9.3f} "
             f"{stats.mean_hops:>10.2f} {stats.mean_detour:>7.2f}"
         )
     print()
@@ -55,11 +57,32 @@ def model_comparison() -> None:
         "The minimum faulty polygons keep the most nodes usable as message\n"
         "endpoints while preserving the convexity the router relies on."
     )
+    print()
+
+
+def traffic_suite() -> None:
+    print("Synthetic traffic suite over the MFP regions")
+    print("=" * 50)
+    scenario = generate_scenario(num_faults=120, width=40, model="clustered", seed=5)
+    session = MeshSession.from_scenario(scenario)
+    print(f"{'traffic':>18} {'delivery':>9} {'mean hops':>10} {'detour':>7} {'abnormal':>9}")
+    for traffic in traffic_keys():
+        stats = session.route("mfp", traffic=traffic, messages=500, seed=1)
+        print(
+            f"{traffic:>18} {stats.delivery_rate:>9.3f} {stats.mean_hops:>10.2f} "
+            f"{stats.mean_detour:>7.2f} {stats.abnormal_fraction:>9.3f}"
+        )
+    print()
+    print(
+        "Every workload is generated as vectorized index arrays over the\n"
+        "enabled-node mask; the same seed reproduces the same batches."
+    )
 
 
 def main() -> None:
     figure2_example()
     model_comparison()
+    traffic_suite()
 
 
 if __name__ == "__main__":

@@ -16,8 +16,12 @@ that regenerates the paper's Figures 9-11.
 
 The canonical public surface is :mod:`repro.api`: a construction registry
 (string keys ``"fb"``/``"fp"``/``"mfp"``/``"cmfp"``/``"dmfp"`` with one
-uniform build protocol), the incremental :class:`~repro.api.MeshSession`
-and the parallel :class:`~repro.api.SweepExecutor`.
+uniform build protocol), the incremental :class:`~repro.api.MeshSession`,
+its routing facade (router registry ``"ecube"``/``"extended-ecube"`` plus
+the synthetic traffic registry ``"uniform"``/``"transpose"``/
+``"bit-reversal"``/``"hotspot"``/``"nearest-neighbour"``/``"permutation"``,
+all reachable via ``session.route(...)``) and the parallel
+:class:`~repro.api.SweepExecutor` for construction and routing sweeps.
 
 Quickstart
 ----------
@@ -85,23 +89,39 @@ from repro.distributed import (
     DistributedMinimumPolygonConstruction,
     construct_boundary_ring,
 )
-from repro.routing import ExtendedECubeRouter, RoutingSimulator, ecube_path
+from repro.routing import (
+    ECubeRouter,
+    ExtendedECubeRouter,
+    RoutingSimulator,
+    RoutingStats,
+    ecube_path,
+)
 from repro.sim import (
     FigureSeries,
     figure9_series,
     figure10_series,
     figure11_series,
     format_series_table,
+    routing_series,
 )
 from repro import api
 from repro.api import (
     ConstructionResult,
     ConstructionSpec,
     MeshSession,
+    RouterSpec,
+    RoutingSession,
     SweepExecutor,
+    TrafficSpec,
     available_constructions,
+    available_routers,
+    available_traffic,
     get_construction,
+    get_router,
+    get_traffic,
     register_construction,
+    register_router,
+    register_traffic,
 )
 
 __version__ = "1.1.0"
@@ -207,12 +227,21 @@ __all__ = [
     # canonical API
     "api",
     "MeshSession",
+    "RoutingSession",
     "SweepExecutor",
     "ConstructionSpec",
     "ConstructionResult",
+    "RouterSpec",
+    "TrafficSpec",
     "get_construction",
     "available_constructions",
     "register_construction",
+    "get_router",
+    "available_routers",
+    "register_router",
+    "get_traffic",
+    "available_traffic",
+    "register_traffic",
     # core constructions (result types and analysis helpers)
     "apply_labelling_scheme_1",
     "apply_labelling_scheme_2",
@@ -228,13 +257,16 @@ __all__ = [
     "construct_boundary_ring",
     # routing
     "ecube_path",
+    "ECubeRouter",
     "ExtendedECubeRouter",
+    "RoutingStats",
     "RoutingSimulator",
     # simulation harness
     "FigureSeries",
     "figure9_series",
     "figure10_series",
     "figure11_series",
+    "routing_series",
     "format_series_table",
     # deprecated shims (resolved via __getattr__ with a DeprecationWarning)
     "build_faulty_blocks",

@@ -1,6 +1,6 @@
 """repro.api -- the canonical public surface of the reproduction package.
 
-Three layers, replacing the ~50 loose functions the package historically
+Four layers, replacing the ~50 loose functions the package historically
 exported from its top level:
 
 * :mod:`repro.api.registry` -- a pluggable registry mapping string keys
@@ -12,9 +12,16 @@ exported from its top level:
   supports incremental ``add_faults`` / ``clear`` with per-construction
   result caching and dirty-component invalidation (only components touched
   by new faults are recomputed).
-* :mod:`repro.api.executor` -- :class:`SweepExecutor`, which fans sweep
-  trials out over ``multiprocessing`` with deterministic per-trial seeds
-  and pluggable reducers.
+* :mod:`repro.api.routing` -- :class:`RoutingSession`, the routing facade
+  of the session: routers resolved through the router registry
+  (``get_router("ecube" | "extended-ecube")``), synthetic workloads
+  through the traffic registry (``get_traffic("uniform" | "transpose" |
+  "bit-reversal" | "hotspot" | "nearest-neighbour" | "permutation")``),
+  routers cached per construction and invalidated on fault updates.
+* :mod:`repro.api.executor` -- :class:`SweepExecutor`, which fans both
+  construction sweeps (``run``) and routing sweeps (``run_routing``) out
+  over ``multiprocessing`` with deterministic per-trial seeds and
+  pluggable reducers.
 
 Quickstart::
 
@@ -25,7 +32,13 @@ Quickstart::
     mfp = session.build("mfp")
     print(mfp.num_disabled_nonfaulty, mfp.rounds)
 
+    stats = session.route("mfp", traffic="transpose", messages=2000, seed=1)
+    print(stats.delivery_rate, stats.mean_detour)
+
     points = SweepExecutor(workers=4).run([100, 200, 400], trials=3)
+    routing = SweepExecutor(models=("fb", "fp", "mfp"), workers=4).run_routing(
+        [100, 200, 400], trials=3, traffic="hotspot", messages=500
+    )
 """
 
 from repro.api.registry import (
@@ -44,17 +57,41 @@ from repro.api.registry import (
     register_incremental,
 )
 from repro.api.session import MeshSession
+from repro.api.routing import RoutingSession
 from repro.api.executor import (
     DEFAULT_MODELS,
+    DEFAULT_ROUTING_MODELS,
+    RoutingTrialSpec,
     SweepExecutor,
     TrialSpec,
     collect_scenario_metrics,
+    routing_point_reducer,
+    run_routing_trial,
     run_trial,
     sweep_point_reducer,
 )
+from repro.routing.registry import (
+    RouterOptions,
+    RouterSpec,
+    available_routers,
+    get_router,
+    register_router,
+    router_keys,
+)
+from repro.routing.stats import MissingRouteResultsError, RoutingStats
+from repro.routing.traffic import (
+    TrafficBatch,
+    TrafficContext,
+    TrafficOptions,
+    TrafficSpec,
+    available_traffic,
+    get_traffic,
+    register_traffic,
+    traffic_keys,
+)
 
 __all__ = [
-    # registry
+    # construction registry
     "ConstructionSpec",
     "ConstructionResult",
     "ConstructionOptions",
@@ -70,11 +107,33 @@ __all__ = [
     "build_construction",
     # session
     "MeshSession",
+    # routing facade + registries
+    "RoutingSession",
+    "RoutingStats",
+    "MissingRouteResultsError",
+    "RouterSpec",
+    "RouterOptions",
+    "get_router",
+    "register_router",
+    "router_keys",
+    "available_routers",
+    "TrafficSpec",
+    "TrafficBatch",
+    "TrafficContext",
+    "TrafficOptions",
+    "get_traffic",
+    "register_traffic",
+    "traffic_keys",
+    "available_traffic",
     # executor
     "SweepExecutor",
     "TrialSpec",
+    "RoutingTrialSpec",
     "DEFAULT_MODELS",
+    "DEFAULT_ROUTING_MODELS",
     "collect_scenario_metrics",
     "run_trial",
+    "run_routing_trial",
     "sweep_point_reducer",
+    "routing_point_reducer",
 ]

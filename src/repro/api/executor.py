@@ -38,10 +38,27 @@ from repro.faults.scenario import (
     derive_trial_seed,
     generate_scenario,
 )
+from repro.routing.registry import (
+    RouterOptions,
+    RouterSpec,
+    get_router,
+    register_router,
+)
+from repro.routing.traffic import (
+    TrafficOptions,
+    TrafficSpec,
+    get_traffic,
+    register_traffic,
+)
 
 #: Construction keys run by default (the four models the paper compares;
 #: CMFP is the centralized MFP re-reported with its emulation rounds).
 DEFAULT_MODELS: Tuple[str, ...] = ("fb", "fp", "mfp", "cmfp", "dmfp")
+
+#: Construction keys routing sweeps compare by default (the three models of
+#: the routing ablation; CMFP/DMFP regions equal MFP's, so routing them
+#: again would only repeat the MFP curve).
+DEFAULT_ROUTING_MODELS: Tuple[str, ...] = ("fb", "fp", "mfp")
 
 #: A reducer folds the trial metrics of one sweep point into one record.
 Reducer = Callable[[int, str, List[Any]], Any]
@@ -115,14 +132,16 @@ def collect_scenario_metrics(
     return metrics
 
 
-def run_trial(spec: TrialSpec):
-    """Generate one scenario and collect its metrics (worker entry point)."""
-    for construction_spec in spec.specs:
-        # A spawned worker starts from a fresh registry holding only the
-        # built-in models; re-register anything the parent plugged in.  The
-        # builder comparison is by reference: specs pickle their builders as
-        # module-level names, so built-ins resolve to the same function and
-        # are left alone (keeping their incremental builders registered).
+def _restore_worker_registry(specs: Tuple[ConstructionSpec, ...]) -> None:
+    """Re-register the parent's construction specs in a worker process.
+
+    A spawned worker starts from a fresh registry holding only the
+    built-in models; re-register anything the parent plugged in.  The
+    builder comparison is by reference: specs pickle their builders as
+    module-level names, so built-ins resolve to the same function and
+    are left alone (keeping their incremental builders registered).
+    """
+    for construction_spec in specs:
         try:
             registered = get_construction(construction_spec.key)
         except KeyError:
@@ -130,6 +149,11 @@ def run_trial(spec: TrialSpec):
         else:
             if registered.builder is not construction_spec.builder:
                 register_construction(construction_spec, replace=True)
+
+
+def run_trial(spec: TrialSpec):
+    """Generate one scenario and collect its metrics (worker entry point)."""
+    _restore_worker_registry(spec.specs)
     scenario = generate_scenario(
         num_faults=spec.num_faults,
         width=spec.width,
@@ -155,11 +179,140 @@ def _custom_fb_for_tests(faults, topology, options):
     return build_faulty_blocks(faults, topology=topology)
 
 
+def _custom_traffic_for_tests(context, count, rng, options):
+    """Module-level custom generator used by the worker-registry tests."""
+    from repro.routing import traffic as _traffic
+
+    return _traffic._uniform(context, count, rng, options)
+
+
 def sweep_point_reducer(num_faults: int, distribution: str, trials: List[Any]):
     """Default reducer: fold trial metrics into a ``SweepPoint`` average."""
     from repro.sim.metrics import SweepPoint
 
     point = SweepPoint(num_faults=num_faults, distribution=distribution)
+    for metrics in trials:
+        point.add(metrics)
+    return point
+
+
+# -- routing sweeps -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RoutingTrialSpec:
+    """Everything one worker needs to run one routing trial (picklable).
+
+    The scenario fields mirror :class:`TrialSpec`; the routing fields name
+    the router / traffic registry keys and carry their typed (frozen,
+    picklable) option sets.  The trial seed drives both the fault pattern
+    and the traffic generation, so a spec fully determines its metrics.
+    """
+
+    num_faults: int
+    seed: int
+    width: int = 100
+    height: Optional[int] = None
+    distribution: str = "random"
+    torus: bool = False
+    cluster_factor: float = 2.0
+    models: Tuple[str, ...] = DEFAULT_ROUTING_MODELS
+    router: str = "extended-ecube"
+    traffic: str = "uniform"
+    messages: int = 500
+    traffic_options: Optional[TrafficOptions] = None
+    router_options: Optional[RouterOptions] = None
+    specs: Tuple[ConstructionSpec, ...] = ()
+    #: The resolved router/traffic specs, carried (like ``specs``) so that
+    #: workers spawned in a fresh interpreter can re-register custom
+    #: routers and workloads; ``None`` means "resolve from the worker's
+    #: registry".
+    router_spec: Optional[RouterSpec] = None
+    traffic_spec: Optional[TrafficSpec] = None
+
+
+def run_routing_trial(spec: RoutingTrialSpec):
+    """Route one scenario's traffic over every model (worker entry point).
+
+    All models inside a trial share the same fault pattern and traffic
+    seed (paired comparison); the batches themselves still differ per
+    model because each model's enabled endpoint set differs.
+    """
+    from repro.sim.metrics import RoutingMetrics, RoutingScenarioMetrics
+
+    _restore_worker_registry(spec.specs)
+    # Same re-registration dance for the routing registries: a spawned
+    # worker only knows the built-in routers/workloads.  The implementation
+    # comparison is by reference (builders/generators pickle as
+    # module-level names), so built-ins are left alone.
+    for carried, getter, registrar, implementation in (
+        (spec.router_spec, get_router, register_router, "builder"),
+        (spec.traffic_spec, get_traffic, register_traffic, "generator"),
+    ):
+        if carried is None:
+            continue
+        try:
+            registered = getter(carried.key)
+        except KeyError:
+            registrar(carried)
+        else:
+            if getattr(registered, implementation) is not getattr(carried, implementation):
+                registrar(carried, replace=True)
+    # Imported lazily to keep the executor module import-light (sessions
+    # pull in the whole construction stack).
+    from repro.api.session import MeshSession
+
+    scenario = generate_scenario(
+        num_faults=spec.num_faults,
+        width=spec.width,
+        height=spec.height,
+        model=spec.distribution,
+        seed=spec.seed,
+        torus=spec.torus,
+        cluster_factor=spec.cluster_factor,
+    )
+    session = MeshSession.from_scenario(scenario)
+    metrics = RoutingScenarioMetrics(
+        num_faults=scenario.num_faults,
+        distribution=scenario.model,
+        seed=scenario.seed,
+        traffic=get_traffic(spec.traffic).key,
+        router=get_router(spec.router).key,
+    )
+    for key in spec.models:
+        # Routing metrics never read the CMFP round counts: skip the
+        # emulation on any construction that exposes the toggle (the
+        # regions are identical either way).
+        construction_spec = get_construction(key)
+        construction_options = None
+        if any(
+            f.name == "compute_rounds"
+            for f in dataclasses.fields(construction_spec.options_type)
+        ):
+            construction_options = construction_spec.make_options(
+                None, {"compute_rounds": False}
+            )
+        stats = session.route(
+            key,
+            router=spec.router,
+            traffic=spec.traffic,
+            messages=spec.messages,
+            seed=spec.seed,
+            traffic_options=spec.traffic_options,
+            router_options=spec.router_options,
+            construction_options=construction_options,
+        )
+        metrics.add(
+            RoutingMetrics.from_stats(stats, num_faults=scenario.num_faults)
+        )
+    return metrics
+
+
+def routing_point_reducer(num_faults: int, distribution: str, trials: List[Any]):
+    """Default routing reducer: fold trials into a ``RoutingSweepPoint``."""
+    from repro.sim.metrics import RoutingSweepPoint
+
+    point = RoutingSweepPoint(num_faults=num_faults, distribution=distribution)
     for metrics in trials:
         point.add(metrics)
     return point
@@ -234,11 +387,11 @@ class SweepExecutor:
                 )
         return specs
 
-    def map_trials(self, specs: Sequence[TrialSpec]) -> List[Any]:
-        """Run the trial specs, serially or over a process pool."""
+    def _map(self, runner: Callable[[Any], Any], specs: Sequence[Any]) -> List[Any]:
+        """Run *runner* over the specs, serially or over a process pool."""
         workers = self._resolve_workers(len(specs))
         if workers <= 1:
-            return [run_trial(spec) for spec in specs]
+            return [runner(spec) for spec in specs]
         # fork shares the already-imported package with the workers; fall
         # back to the platform default where fork is unavailable.
         try:
@@ -246,7 +399,15 @@ class SweepExecutor:
         except ValueError:  # pragma: no cover - non-POSIX platforms
             context = multiprocessing.get_context()
         with context.Pool(processes=workers) as pool:
-            return pool.map(run_trial, specs)
+            return pool.map(runner, specs)
+
+    def map_trials(self, specs: Sequence[TrialSpec]) -> List[Any]:
+        """Run the trial specs, serially or over a process pool."""
+        return self._map(run_trial, specs)
+
+    def map_routing_trials(self, specs: Sequence[RoutingTrialSpec]) -> List[Any]:
+        """Run the routing trial specs, serially or over a process pool."""
+        return self._map(run_routing_trial, specs)
 
     def run(
         self,
@@ -285,4 +446,113 @@ class SweepExecutor:
         for count_index, num_faults in enumerate(fault_counts):
             chunk = results[count_index * trials : (count_index + 1) * trials]
             points.append(self.reducer(num_faults, distribution, chunk))
+        return points
+
+    # -- routing sweeps --------------------------------------------------------------
+
+    def plan_routing(
+        self,
+        fault_counts: Sequence[int],
+        trials: int,
+        *,
+        width: int = 100,
+        height: Optional[int] = None,
+        distribution: str = "random",
+        base_seed: int = 0,
+        torus: bool = False,
+        cluster_factor: float = 2.0,
+        router: str = "extended-ecube",
+        traffic: str = "uniform",
+        messages: int = 500,
+        traffic_options: Optional[TrafficOptions] = None,
+        router_options: Optional[RouterOptions] = None,
+    ) -> List[RoutingTrialSpec]:
+        """Expand a routing sweep into its deterministic per-trial specs.
+
+        The router and traffic keys are validated eagerly (typos fail
+        before any work is dispatched); seeds come from the same
+        :func:`~repro.faults.scenario.derive_trial_seed` scheme as the
+        construction sweeps, so a routing sweep is bit-identical whether
+        it runs serially or over any number of workers.
+        """
+        if trials < 1:
+            raise ValueError("trials must be at least 1")
+        router_spec = get_router(router)
+        traffic_spec = get_traffic(traffic)
+        router, traffic = router_spec.key, traffic_spec.key
+        construction_specs = tuple(get_construction(key) for key in self.models)
+        specs: List[RoutingTrialSpec] = []
+        for count_index, num_faults in enumerate(fault_counts):
+            for trial in range(trials):
+                specs.append(
+                    RoutingTrialSpec(
+                        num_faults=num_faults,
+                        seed=derive_trial_seed(base_seed, count_index, trials, trial),
+                        width=width,
+                        height=height,
+                        distribution=distribution,
+                        torus=torus,
+                        cluster_factor=cluster_factor,
+                        models=self.models,
+                        router=router,
+                        traffic=traffic,
+                        messages=messages,
+                        traffic_options=traffic_options,
+                        router_options=router_options,
+                        specs=construction_specs,
+                        router_spec=router_spec,
+                        traffic_spec=traffic_spec,
+                    )
+                )
+        return specs
+
+    def run_routing(
+        self,
+        fault_counts: Sequence[int],
+        trials: int = 3,
+        *,
+        width: int = 100,
+        height: Optional[int] = None,
+        distribution: str = "random",
+        base_seed: int = 0,
+        torus: bool = False,
+        cluster_factor: float = 2.0,
+        router: str = "extended-ecube",
+        traffic: str = "uniform",
+        messages: int = 500,
+        traffic_options: Optional[TrafficOptions] = None,
+        router_options: Optional[RouterOptions] = None,
+        reducer: Optional[Reducer] = None,
+    ) -> List[Any]:
+        """Run a routing sweep and return one reduced record per fault count.
+
+        Every trial builds this executor's models on one generated fault
+        pattern and routes the same seeded traffic batch over each
+        (paired comparison).  With the default reducer the return value is
+        a list of :class:`~repro.sim.metrics.RoutingSweepPoint`; pass
+        *reducer* for a custom per-point reduction (it runs in the parent
+        process, so it does not need to be picklable).
+        """
+        fault_counts = list(fault_counts)
+        point_reducer: Reducer = reducer if reducer is not None else routing_point_reducer
+        specs = self.plan_routing(
+            fault_counts,
+            trials,
+            width=width,
+            height=height,
+            distribution=distribution,
+            base_seed=base_seed,
+            torus=torus,
+            cluster_factor=cluster_factor,
+            router=router,
+            traffic=traffic,
+            messages=messages,
+            traffic_options=traffic_options,
+            router_options=router_options,
+        )
+        results = self.map_routing_trials(specs)
+        points: List[Any] = []
+        for count_index, num_faults in enumerate(fault_counts):
+            chunk = results[count_index * trials : (count_index + 1) * trials]
+            points.append(point_reducer(num_faults, distribution, chunk))
         return points

@@ -48,6 +48,7 @@ from typing import (
     Union,
 )
 
+from repro._registry import SpecRegistry, make_spec_options
 from repro.core.faulty_block import build_faulty_blocks
 from repro.core.mfp import (
     build_minimum_polygons,
@@ -230,18 +231,7 @@ class ConstructionSpec:
         overrides: Optional[Mapping[str, Any]] = None,
     ) -> ConstructionOptions:
         """Validate/construct the option set for one build call."""
-        overrides = dict(overrides or {})
-        if options is None:
-            options = self.options_type(**overrides)
-        else:
-            if not isinstance(options, self.options_type):
-                raise TypeError(
-                    f"construction {self.key!r} expects "
-                    f"{self.options_type.__name__}, got {type(options).__name__}"
-                )
-            if overrides:
-                options = dataclasses.replace(options, **overrides)
-        return options
+        return make_spec_options("construction", self, options, overrides)
 
     def wrap(self, raw: Any, options: ConstructionOptions) -> ConstructionResult:
         """Wrap a model-specific construction object as a uniform result."""
@@ -277,14 +267,20 @@ class ConstructionSpec:
 
 # -- the registry -------------------------------------------------------------------
 
-_REGISTRY: Dict[str, ConstructionSpec] = {}
-_ALIASES: Dict[str, str] = {}
 #: Incremental builders keyed by spec key; populated by repro.api.session.
+#: A replacement spec starts from a clean slate: the previous spec's
+#: incremental builder must not run against the new builder's results.
 _INCREMENTAL: Dict[str, Callable] = {}
 
+_CONSTRUCTIONS = SpecRegistry(
+    "construction", on_replace=lambda key: _INCREMENTAL.pop(key, None)
+)
+#: The registry's backing dicts (key -> spec, alias -> key), shared with
+#: the :class:`SpecRegistry` instance; exposed for tests and diagnostics.
+_REGISTRY: Dict[str, ConstructionSpec] = _CONSTRUCTIONS.specs
+_ALIASES: Dict[str, str] = _CONSTRUCTIONS.aliases
 
-def _normalise(key: str) -> str:
-    return key.strip().lower().replace("_", "-")
+_normalise = SpecRegistry.normalise
 
 
 def register_construction(spec: ConstructionSpec, replace: bool = False) -> ConstructionSpec:
@@ -292,40 +288,11 @@ def register_construction(spec: ConstructionSpec, replace: bool = False) -> Cons
 
     Registration makes the model available to ``get_construction``, the
     :class:`repro.api.MeshSession`, the :class:`repro.api.SweepExecutor`
-    and the CLI.  Raises ``ValueError`` on key collisions unless *replace*.
+    and the CLI.  Raises ``ValueError`` on key collisions unless *replace*
+    (which only licenses taking over *this* key, never another model's
+    names, and disconnects the replaced spec's incremental builder).
     """
-    key = _normalise(spec.key)
-    names = [key] + [_normalise(alias) for alias in spec.aliases]
-    if not replace:
-        for name in names:
-            if name in _REGISTRY or name in _ALIASES:
-                raise ValueError(f"construction key {name!r} is already registered")
-    else:
-        # Validate before mutating anything, so a rejected replacement
-        # leaves the registry untouched.  replace=True only licenses taking
-        # over *this* key: the spec's names must not hijack other models.
-        if key in _ALIASES:
-            raise ValueError(
-                f"key {key!r} is an alias of {_ALIASES[key]!r}; "
-                f"replace that spec instead"
-            )
-        for name in names[1:]:
-            if name in _REGISTRY or _ALIASES.get(name, key) != key:
-                raise ValueError(
-                    f"alias {name!r} of replacement spec {key!r} collides "
-                    f"with another registered construction"
-                )
-        if _REGISTRY.get(key) is not spec:
-            # A replacement spec starts from a clean slate: the previous
-            # spec's incremental builder must not run against the new
-            # builder's results, and its aliases must stop resolving.
-            _INCREMENTAL.pop(key, None)
-            for alias in [a for a, target in _ALIASES.items() if target == key]:
-                del _ALIASES[alias]
-    _REGISTRY[key] = spec
-    for name in names[1:]:
-        _ALIASES[name] = key
-    return spec
+    return _CONSTRUCTIONS.register(spec, replace)
 
 
 def register_incremental(key: str, builder: Callable) -> None:
@@ -345,25 +312,17 @@ def incremental_builder(key: str) -> Optional[Callable]:
 
 def get_construction(key: str) -> ConstructionSpec:
     """Look up a construction by key or alias (case-insensitive)."""
-    name = _normalise(key)
-    name = _ALIASES.get(name, name)
-    try:
-        return _REGISTRY[name]
-    except KeyError:
-        known = ", ".join(sorted(_REGISTRY))
-        raise KeyError(
-            f"unknown construction {key!r}; registered keys: {known}"
-        ) from None
+    return _CONSTRUCTIONS.get(key)
 
 
 def available_constructions() -> List[ConstructionSpec]:
     """Return every registered spec, in registration order."""
-    return list(_REGISTRY.values())
+    return _CONSTRUCTIONS.available()
 
 
 def construction_keys() -> Tuple[str, ...]:
     """Return the registered construction keys, in registration order."""
-    return tuple(_REGISTRY)
+    return _CONSTRUCTIONS.keys()
 
 
 def build_construction(

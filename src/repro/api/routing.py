@@ -1,0 +1,192 @@
+"""The routing facade of the session layer.
+
+:class:`RoutingSession` hangs off :class:`repro.api.MeshSession` and makes
+routing a first-class citizen of the ``repro.api`` surface: routers are
+resolved through the router registry (:mod:`repro.routing.registry`),
+workloads through the traffic registry (:mod:`repro.routing.traffic`), and
+everything is built on top of the session's cached
+:class:`~repro.api.ConstructionResult` -- including its region-index grid,
+so a router instantiation costs O(1) region-membership work.
+
+Routers (and the traffic contexts derived from them) are cached per
+``(router, construction, options)`` key and invalidated automatically when
+``add_faults`` / ``clear`` bump the session version, exactly like the
+construction result cache::
+
+    session = MeshSession(width=50, faults=faults)
+    stats = session.route("mfp", traffic="transpose", messages=2000, seed=1)
+    session.add_faults([(3, 4)])        # routers rebuilt lazily on next use
+    stats2 = session.route("mfp", traffic="transpose", messages=2000, seed=1)
+
+``route`` returns a :class:`repro.routing.stats.RoutingStats` annotated
+with the construction/traffic/router labels and the enabled endpoint
+count, ready for sweep tables.  Requesting ``check_deadlock=True``
+auto-enables per-route result collection, so the channel-dependency check
+can never fail mid-analysis for lack of results.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.api.registry import ConstructionOptions
+from repro.routing.registry import RouterOptions, get_router
+from repro.routing.stats import RoutingStats
+from repro.routing.traffic import TrafficContext, TrafficOptions, get_traffic
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.api.session import MeshSession
+
+
+class RoutingSession:
+    """Cached routers and traffic contexts on top of one :class:`MeshSession`.
+
+    Obtained via :attr:`MeshSession.routing` (or the ``router`` / ``route``
+    convenience methods on the session itself); not usually instantiated
+    directly.
+    """
+
+    def __init__(self, session: "MeshSession") -> None:
+        self._session = session
+        # (router key, construction key, construction opts, router opts)
+        #   -> (session version, router)
+        self._routers: Dict[Tuple, Tuple[int, Any]] = {}
+        # Same key -> (session version, TrafficContext); contexts only
+        # depend on the disabled mask, but keying them like the routers
+        # keeps one invalidation rule for everything routing-related.
+        self._contexts: Dict[Tuple, Tuple[int, TrafficContext]] = {}
+        session.cache_info.setdefault("router_hits", 0)
+        session.cache_info.setdefault("router_misses", 0)
+
+    @property
+    def session(self) -> "MeshSession":
+        """The mesh session this facade routes on."""
+        return self._session
+
+    # -- cached builds ---------------------------------------------------------------
+
+    def _resolve(
+        self,
+        router: str,
+        construction: str,
+        options: Optional[RouterOptions],
+        construction_options: Optional[ConstructionOptions],
+        overrides: Optional[dict] = None,
+    ):
+        """Resolve ``(construction result, router, traffic context)`` once.
+
+        One registry lookup per axis, one session ``build`` (itself
+        cached), one router-cache probe: the shared path under
+        :meth:`router`, :meth:`context` and :meth:`route`.  Caches are
+        keyed by the session version, so any ``add_faults`` / ``clear``
+        invalidates routers and contexts automatically.
+        """
+        spec = get_router(router)
+        router_options = spec.make_options(options, overrides)
+        result = self._session.build(construction, options=construction_options)
+        key = (spec.key, result.key, result.options, router_options)
+        version = self._session.version
+        cached = self._routers.get(key)
+        if cached is not None and cached[0] == version:
+            self._session.cache_info["router_hits"] += 1
+            router_obj = cached[1]
+        else:
+            self._session.cache_info["router_misses"] += 1
+            router_obj = spec.build(result, options=router_options)
+            self._routers[key] = (version, router_obj)
+        cached_context = self._contexts.get(key)
+        if cached_context is not None and cached_context[0] == version:
+            context = cached_context[1]
+        else:
+            context = TrafficContext.from_router(router_obj)
+            self._contexts[key] = (version, context)
+        return spec, result, router_obj, context
+
+    def router(
+        self,
+        router: str = "extended-ecube",
+        construction: str = "mfp",
+        *,
+        options: Optional[RouterOptions] = None,
+        construction_options: Optional[ConstructionOptions] = None,
+        **overrides: Any,
+    ):
+        """Build (or fetch from cache) a router over a cached construction.
+
+        The construction is resolved through the session's result cache,
+        so repeated calls after the same fault set cost one dictionary
+        lookup; any ``add_faults`` invalidates the router automatically
+        (the cache is keyed by the session version).  Keyword *overrides*
+        are field overrides of the router's option type.
+        """
+        return self._resolve(
+            router, construction, options, construction_options, overrides
+        )[2]
+
+    def context(
+        self,
+        router: str = "extended-ecube",
+        construction: str = "mfp",
+        *,
+        options: Optional[RouterOptions] = None,
+        construction_options: Optional[ConstructionOptions] = None,
+    ) -> TrafficContext:
+        """The traffic context (enabled index arrays + mask) of a router."""
+        return self._resolve(router, construction, options, construction_options)[3]
+
+    # -- routing experiments ---------------------------------------------------------
+
+    def route(
+        self,
+        construction: str = "mfp",
+        *,
+        traffic: str = "uniform",
+        messages: int = 1000,
+        seed: int = 0,
+        router: str = "extended-ecube",
+        traffic_options: Optional[TrafficOptions] = None,
+        router_options: Optional[RouterOptions] = None,
+        construction_options: Optional[ConstructionOptions] = None,
+        collect_results: bool = False,
+        check_deadlock: bool = False,
+        **traffic_overrides: Any,
+    ) -> RoutingStats:
+        """Route one generated message batch and return the statistics.
+
+        *construction*, *traffic* and *router* are registry keys; keyword
+        *traffic_overrides* are field overrides of the workload's option
+        type (e.g. ``fraction=0.8`` for ``hotspot``).  Generation is
+        deterministic in *seed*: the same seed on the same fault set
+        yields a bit-identical batch (and therefore identical stats).
+
+        *check_deadlock* runs the channel-dependency-cycle analysis on the
+        delivered routes; per-route result collection is enabled
+        automatically for the check, so it cannot raise
+        :class:`~repro.routing.stats.MissingRouteResultsError`.  Read the
+        verdict via ``stats.deadlock_free()``.
+        """
+        traffic_spec = get_traffic(traffic)
+        router_spec, result, router_obj, context = self._resolve(
+            router, construction, router_options, construction_options
+        )
+        batch = traffic_spec.generate(
+            context,
+            messages,
+            rng=np.random.default_rng(seed),
+            options=traffic_options,
+            **traffic_overrides,
+        )
+        stats = RoutingStats(
+            collect_results=collect_results or check_deadlock,
+            enabled=context.num_enabled,
+            model=result.label,
+            traffic=traffic_spec.key,
+            router=router_spec.key,
+        )
+        for source, destination in batch.pairs():
+            stats.record(router_obj.route(source, destination))
+        if check_deadlock:
+            stats.deadlock_free()
+        return stats

@@ -33,6 +33,13 @@ Constructions are requested through the registry keys of
 Whole-network constructions (FB/FP run labelling schemes over the full
 grid) cannot be updated component-locally; they fall back to a full build,
 still cached per fault-set version so repeated queries are free.
+
+Routing hangs off the same session (:mod:`repro.api.routing`): routers
+built over the cached construction results are themselves cached and
+invalidated by ``add_faults``, and ``session.route(key, traffic=...)``
+runs a whole routing experiment from registry keys alone::
+
+    stats = session.route("mfp", traffic="transpose", messages=2000, seed=1)
 """
 
 from __future__ import annotations
@@ -121,6 +128,10 @@ class MeshSession:
         self._ring_cache: Dict[FrozenSet[Coord], object] = {}
         # Whole-result cache: (key, options) -> (version, result).
         self._results: Dict[Tuple[str, ConstructionOptions], Tuple[int, ConstructionResult]] = {}
+        # Routing facade, created lazily on first router/route/routing use;
+        # its router caches are keyed by the session version, so add_faults
+        # invalidates them without an explicit hook.
+        self._routing = None
         self.cache_info: Dict[str, int] = {
             "result_hits": 0,
             "result_misses": 0,
@@ -400,6 +411,41 @@ class MeshSession:
 
             keys = construction_keys()
         return {key: self.build(key) for key in keys}
+
+    # -- routing ---------------------------------------------------------------------
+
+    @property
+    def routing(self):
+        """The session's routing facade (:class:`repro.api.RoutingSession`).
+
+        Routers and traffic contexts built through it reuse this session's
+        cached construction results (including the region-index grid) and
+        are invalidated automatically by ``add_faults`` / ``clear``.
+        """
+        if self._routing is None:
+            # Imported lazily: repro.api.routing imports this module.
+            from repro.api.routing import RoutingSession
+
+            self._routing = RoutingSession(self)
+        return self._routing
+
+    def router(self, router: str = "extended-ecube", construction: str = "mfp", **kwargs):
+        """Build (or fetch from cache) a router over a cached construction.
+
+        Convenience for :meth:`RoutingSession.router`; see
+        :mod:`repro.api.routing` for the full parameter list.
+        """
+        return self.routing.router(router, construction, **kwargs)
+
+    def route(self, construction: str = "mfp", **kwargs):
+        """Route one generated traffic batch over a cached construction.
+
+        Convenience for :meth:`RoutingSession.route`: resolves the
+        construction, router and traffic workload through their
+        registries, generates a deterministic endpoint batch and returns
+        the aggregated :class:`~repro.routing.stats.RoutingStats`.
+        """
+        return self.routing.route(construction, **kwargs)
 
     def describe(self) -> str:
         """One-line description used by logs and the CLI."""

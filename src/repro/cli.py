@@ -12,11 +12,15 @@ command resolves its fault-region models through the construction registry
 ``repro-mesh sweep``
     Run the Figure 9/10/11 fault-count sweep for one distribution and print
     the series tables (optionally ASCII charts); ``--workers`` fans the
-    trials out over a process pool.
+    trials out over a process pool, ``--torus`` sweeps a 2-D torus, and
+    ``--routing`` runs the routing sweep (delivery rate / detour vs. fault
+    count) instead of the construction figures.
 
 ``repro-mesh route``
-    Route random traffic over the regions of each fault model built from
-    the same fault pattern and print delivery/detour statistics.
+    Route one synthetic traffic workload (``--traffic``, any key of the
+    traffic registry) through a router (``--router``) over the regions of
+    each fault model built from the same fault pattern, and print
+    delivery/detour statistics.
 
 ``repro-mesh verify``
     Run the construction verification suite on a generated fault pattern.
@@ -35,7 +39,7 @@ import argparse
 import sys
 from typing import Dict, Optional, Sequence
 
-from repro.api import ConstructionResult, MeshSession, get_construction
+from repro.api import ConstructionResult, MeshSession, router_keys, traffic_keys
 from repro.core.verify import (
     compare_constructions_report,
     verify_faulty_blocks,
@@ -43,15 +47,15 @@ from repro.core.verify import (
     verify_orthogonal_convexity,
 )
 from repro.faults.scenario import generate_scenario
-from repro.routing.simulator import RoutingSimulator
-from repro.sim.experiments import run_sweep
+from repro.sim.experiments import run_routing_sweep, run_sweep
 from repro.sim.figures import (
     figure9_series,
     figure10_series,
     figure11_series,
     format_series_table,
+    routing_series,
 )
-from repro.sim.registry import EXPERIMENTS, get_experiment, render_index
+from repro.sim.registry import get_experiment, render_index
 from repro.sim.render import render_ascii_chart
 
 #: Registry keys built by the construct/verify commands, in display order.
@@ -75,6 +79,24 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
         help="failure-rate multiplier of the clustered model",
     )
     parser.add_argument("--torus", action="store_true", help="use a torus topology")
+
+
+def _add_routing_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--traffic",
+        choices=traffic_keys(),
+        default="uniform",
+        help="synthetic traffic workload (traffic registry key)",
+    )
+    parser.add_argument(
+        "--router",
+        choices=router_keys(),
+        default="extended-ecube",
+        help="router (router registry key)",
+    )
+    parser.add_argument(
+        "--messages", type=int, default=500, help="messages per routed batch"
+    )
 
 
 def _session_from(args: argparse.Namespace):
@@ -118,21 +140,47 @@ def cmd_construct(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     fault_counts = args.fault_counts or [100, 200, 300, 400, 500, 600, 700, 800]
-    points = run_sweep(
-        fault_counts=fault_counts,
-        trials=args.trials,
-        width=args.width,
-        distribution=args.distribution,
-        include_distributed=not args.skip_distributed,
-        include_rounds=True,
-        workers=args.workers,
-    )
-    figures = [
-        figure9_series(distribution=args.distribution, points=points),
-        figure10_series(distribution=args.distribution, points=points),
-    ]
-    if not args.skip_distributed:
-        figures.append(figure11_series(distribution=args.distribution, points=points))
+    if args.routing:
+        points = run_routing_sweep(
+            fault_counts=fault_counts,
+            trials=args.trials,
+            width=args.width,
+            distribution=args.distribution,
+            router=args.router,
+            traffic=args.traffic,
+            messages=args.messages,
+            torus=args.torus,
+            workers=args.workers,
+        )
+        figures = [
+            routing_series(
+                metric=metric,
+                distribution=args.distribution,
+                traffic=args.traffic,
+                router=args.router,
+                points=points,
+            )
+            for metric in ("delivery_rate", "mean_detour")
+        ]
+    else:
+        points = run_sweep(
+            fault_counts=fault_counts,
+            trials=args.trials,
+            width=args.width,
+            distribution=args.distribution,
+            include_distributed=not args.skip_distributed,
+            include_rounds=True,
+            torus=args.torus,
+            workers=args.workers,
+        )
+        figures = [
+            figure9_series(distribution=args.distribution, points=points),
+            figure10_series(distribution=args.distribution, points=points),
+        ]
+        if not args.skip_distributed:
+            figures.append(
+                figure11_series(distribution=args.distribution, points=points)
+            )
     for figure in figures:
         print(format_series_table(figure))
         if args.chart:
@@ -145,16 +193,21 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 def cmd_route(args: argparse.Namespace) -> int:
     scenario, session = _session_from(args)
     print(f"scenario: {scenario.describe()}")
-    constructions = _build_models(session, ("fb", "fp", "mfp"))
+    print(f"traffic: {args.traffic}, router: {args.router}, messages: {args.messages}")
     print(
         f"{'model':>5} {'enabled':>8} {'delivery':>9} {'mean hops':>10} "
         f"{'detour':>7} {'abnormal':>9}"
     )
-    for result in constructions.values():
-        simulator = RoutingSimulator.from_construction(result, seed=args.seed)
-        stats = simulator.run(args.messages)
+    for key in ("fb", "fp", "mfp"):
+        stats = session.route(
+            key,
+            router=args.router,
+            traffic=args.traffic,
+            messages=args.messages,
+            seed=args.seed,
+        )
         print(
-            f"{result.label:>5} {simulator.num_enabled:>8} {stats.delivery_rate:>9.3f} "
+            f"{stats.model:>5} {stats.enabled:>8} {stats.delivery_rate:>9.3f} "
             f"{stats.mean_hops:>10.2f} {stats.mean_detour:>7.2f} "
             f"{stats.abnormal_fraction:>9.3f}"
         )
@@ -242,13 +295,23 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the DMFP construction (faster; omits Figure 11)",
     )
+    sweep.add_argument(
+        "--torus", action="store_true", help="sweep a 2-D torus instead of a mesh"
+    )
+    sweep.add_argument(
+        "--routing",
+        action="store_true",
+        help="run the routing sweep (delivery/detour vs. fault count) instead "
+        "of the construction figures",
+    )
+    _add_routing_arguments(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
     route = subparsers.add_parser(
-        "route", help="route random traffic over FB/FP/MFP regions"
+        "route", help="route synthetic traffic over FB/FP/MFP regions"
     )
     _add_scenario_arguments(route)
-    route.add_argument("--messages", type=int, default=500)
+    _add_routing_arguments(route)
     route.set_defaults(func=cmd_route)
 
     verify = subparsers.add_parser(

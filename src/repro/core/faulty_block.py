@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-import numpy as np
 
 from repro.core.labelling import apply_labelling_scheme_1, faults_to_mask
 from repro.core.regions import FaultRegion, extract_regions_and_index

@@ -31,22 +31,17 @@ the network, so the network-wide figure is the maximum over components.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.components import FaultComponent, find_components
-from repro.core.labelling import (
-    apply_labelling_scheme_1,
-    apply_labelling_scheme_2,
-    faults_to_mask,
-)
+from repro.core.labelling import apply_labelling_scheme_1, apply_labelling_scheme_2
 from repro.core.regions import FaultRegion, convexify_regions
 from repro.core.superseding import pile_statuses
 from repro.faults.scenario import FaultScenario
 from repro.geometry import masks
 from repro.geometry.orthogonal import orthogonal_convex_hull_sets
-from repro.geometry.rectangle import Rectangle
 from repro.mesh.status import StatusGrid
 from repro.mesh.topology import Mesh2D, Topology
 from repro.types import Coord, FaultRegionModel, NodeKind

@@ -17,7 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-import numpy as np
 
 from repro.core.labelling import (
     apply_labelling_scheme_1,

@@ -24,7 +24,7 @@ from typing import Iterable, List, Sequence, Set
 
 from repro.core.components import find_components
 from repro.core.regions import FaultRegion, extract_regions
-from repro.geometry.orthogonal import is_orthogonal_convex, orthogonal_convex_hull
+from repro.geometry.orthogonal import orthogonal_convex_hull
 from repro.types import Coord
 
 

@@ -22,7 +22,7 @@ disable exactly the concave row/column sections of every component.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set
 
 import numpy as np
 

@@ -19,7 +19,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Set, Tuple
 
-import numpy as np
 
 from repro.distributed.engine import Envelope, NodeProgram, Outgoing, SynchronousEngine
 from repro.mesh.topology import Topology

@@ -19,8 +19,8 @@ notification cost is the maximum path length over its sections.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
 
 from repro.core.components import FaultComponent
 from repro.distributed.ring import RingConstruction

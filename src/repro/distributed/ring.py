@@ -22,7 +22,7 @@ notification phase (:mod:`repro.distributed.notification`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.components import FaultComponent
 from repro.geometry.boundary import boundary_nodes, boundary_ring, hole_rings

@@ -11,7 +11,7 @@ probability proportional to the weights of the remaining non-faulty nodes.
 from __future__ import annotations
 
 import abc
-from typing import Iterable, List, Optional, Sequence, Set
+from typing import List, Optional
 
 import numpy as np
 

@@ -22,7 +22,7 @@ distributed engine accounts for them as border-node bookkeeping, see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.geometry import masks
 from repro.types import Coord, Side

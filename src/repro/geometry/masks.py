@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import os
 from contextlib import contextmanager
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Tuple
 
 import numpy as np
 

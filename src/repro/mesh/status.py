@@ -14,7 +14,7 @@ path of the benchmark harness.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Set
+from typing import Iterable, Iterator, List, Set
 
 import numpy as np
 

@@ -16,7 +16,7 @@ merge process) and distance/path helpers used by the routing substrate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Tuple
 
 from repro.types import Coord
 

@@ -10,11 +10,22 @@ models (FB / FP / MFP) on routing can be measured:
 * :mod:`repro.routing.extended_ecube` -- routing around fault regions with
   the EW/WE/NS/SN message classes and the clockwise / counter-clockwise
   orientation rules;
+* :mod:`repro.routing.registry` -- the pluggable router registry
+  (``get_router("ecube" | "extended-ecube")``) with the uniform
+  ``RouterSpec.build(construction, ...)`` protocol;
+* :mod:`repro.routing.traffic` -- the declarative synthetic traffic
+  workloads (uniform, transpose, bit reversal, hotspot, nearest neighbour,
+  permutation) generated as vectorized endpoint index arrays;
 * :mod:`repro.routing.channels` -- the four-virtual-channel assignment and a
   channel-dependency-cycle check (deadlock-freedom evidence);
-* :mod:`repro.routing.simulator` -- a whole-network routing experiment
-  (delivery rate, hop counts, detour overhead) used by the routing ablation
-  benchmark.
+* :mod:`repro.routing.stats` -- the aggregate :class:`RoutingStats` record
+  shared by every routing entry point;
+* :mod:`repro.routing.simulator` -- the legacy whole-network simulator,
+  kept as a deprecation shim over the registry/traffic machinery.
+
+The canonical way to run routing experiments is
+:meth:`repro.api.MeshSession.route`, which caches routers per construction
+and invalidates them on fault updates.
 """
 
 from repro.routing.ecube import ecube_path, ecube_next_hop, initial_message_type
@@ -24,17 +35,72 @@ from repro.routing.channels import (
     channel_dependency_graph,
     has_cyclic_dependency,
 )
-from repro.routing.simulator import RoutingSimulator, RoutingStats
+from repro.routing.registry import (
+    ECubeOptions,
+    ECubeRouter,
+    ExtendedECubeOptions,
+    RouterOptions,
+    RouterSpec,
+    available_routers,
+    get_router,
+    register_router,
+    router_keys,
+)
+from repro.routing.stats import MissingRouteResultsError, RoutingStats
+from repro.routing.traffic import (
+    BitReversalOptions,
+    HotspotOptions,
+    NearestNeighbourOptions,
+    PermutationOptions,
+    TrafficBatch,
+    TrafficContext,
+    TrafficOptions,
+    TrafficSpec,
+    TransposeOptions,
+    UniformOptions,
+    available_traffic,
+    get_traffic,
+    register_traffic,
+    traffic_keys,
+)
+from repro.routing.simulator import RoutingSimulator
 
 __all__ = [
     "ecube_path",
     "ecube_next_hop",
     "initial_message_type",
     "ExtendedECubeRouter",
+    "ECubeRouter",
     "RouteResult",
     "VirtualChannelAssignment",
     "channel_dependency_graph",
     "has_cyclic_dependency",
-    "RoutingSimulator",
+    # router registry
+    "RouterSpec",
+    "RouterOptions",
+    "ECubeOptions",
+    "ExtendedECubeOptions",
+    "get_router",
+    "register_router",
+    "router_keys",
+    "available_routers",
+    # traffic registry
+    "TrafficSpec",
+    "TrafficBatch",
+    "TrafficContext",
+    "TrafficOptions",
+    "UniformOptions",
+    "TransposeOptions",
+    "BitReversalOptions",
+    "HotspotOptions",
+    "NearestNeighbourOptions",
+    "PermutationOptions",
+    "get_traffic",
+    "register_traffic",
+    "traffic_keys",
+    "available_traffic",
+    # stats + legacy simulator
     "RoutingStats",
+    "MissingRouteResultsError",
+    "RoutingSimulator",
 ]

@@ -25,7 +25,7 @@ by another overlapping region or leaves the mesh.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -33,7 +33,7 @@ import numpy as np
 from repro.core.regions import FaultRegion
 from repro.geometry.boundary import boundary_ring
 from repro.geometry.rectangle import Rectangle, bounding_rectangle
-from repro.mesh.topology import Mesh2D, Topology
+from repro.mesh.topology import Topology
 from repro.routing.ecube import (
     column_message_type,
     ecube_next_hop,
@@ -144,6 +144,21 @@ class ExtendedECubeRouter:
             self._disabled_set = set(zip(xs.tolist(), ys.tolist()))
             self._disabled_set.update(self._extra_disabled)
         return self._disabled_set
+
+    @property
+    def enabled_mask(self) -> np.ndarray:
+        """Boolean grid of enabled nodes (the complement of all regions).
+
+        The whole-grid view the traffic generators of
+        :mod:`repro.routing.traffic` filter endpoints with; treat it as
+        read-only.
+        """
+        return ~self._disabled_mask
+
+    @property
+    def num_enabled(self) -> int:
+        """Number of nodes outside every fault region."""
+        return int(self._shape[0] * self._shape[1] - np.count_nonzero(self._disabled_mask))
 
     def enabled_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
         """The ``(xs, ys)`` index arrays of all enabled nodes, ``(x, y)``-sorted."""

@@ -1,0 +1,255 @@
+"""Pluggable registry of fault-tolerant routers.
+
+Mirrors the construction registry of :mod:`repro.api.registry` on the
+routing side: every router registers a :class:`RouterSpec` under a short
+string key and is built through one uniform protocol::
+
+    router = get_router("extended-ecube").build(construction)
+    router = get_router("ecube").build(regions=[region], topology=mesh)
+
+=================  =====  ========================================================
+key                label  router
+=================  =====  ========================================================
+``ecube``          EC     base dimension-ordered x-y routing; fails on the first
+                          hop into a fault region (no detours) -- the baseline
+``extended-ecube`` XEC    e-cube extended with boundary-ring traversals around
+                          orthogonal convex regions (Section 2.2, the paper's
+                          routing application)
+=================  =====  ========================================================
+
+``build`` accepts a :class:`repro.api.ConstructionResult` (its topology,
+regions and -- when the mask kernel produced one -- the cell-to-region
+index grid are all reused, so instantiation is O(1) in region membership
+work) or explicit ``regions=``/``topology=`` keywords for ad-hoc region
+sets.  Per-router knobs are typed frozen option dataclasses, so option
+sets are hashable and can key the per-session router cache of
+:class:`repro.api.RoutingSession`.
+
+The registry is open: :func:`register_router` plugs a custom router into
+:meth:`repro.api.MeshSession.route`, the routing sweeps and the CLI at
+once.  A router only needs ``route(source, destination) -> RouteResult``
+plus the enabled-endpoint views (``enabled_arrays`` / ``enabled_mask``)
+used by the traffic generators.
+
+Torus caveat: both built-in routers route mesh-style x-y paths -- the
+paper's Section 2.2 algorithm has no wrap-around channels -- so on a
+:class:`~repro.mesh.topology.Torus2D` the wrap links influence the fault
+*regions* (component labelling wraps) but never the routed paths, and
+``RouteResult.detour`` is measured against the mesh Manhattan distance.
+Wrap-adjacent endpoint pairs (e.g. from the ``nearest-neighbour``
+workload) therefore route across the mesh interior; a torus-aware router
+can be plugged in through this registry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._registry import SpecRegistry, make_spec_options
+from repro.mesh.topology import Topology
+from repro.routing.ecube import ecube_next_hop
+from repro.routing.extended_ecube import ExtendedECubeRouter, RouteResult
+
+
+# -- typed options ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RouterOptions:
+    """Base class for per-router options (frozen, hashable, picklable)."""
+
+    def replace(self, **changes: Any) -> "RouterOptions":
+        """Return a copy with *changes* applied."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class ECubeOptions(RouterOptions):
+    """Options of the base e-cube router (none yet)."""
+
+
+@dataclass(frozen=True)
+class ExtendedECubeOptions(RouterOptions):
+    """Options of the extended e-cube router.
+
+    ``max_hops`` caps the per-message hop budget; ``None`` keeps the
+    router's default of ``8 * (width + height)``.
+    """
+
+    max_hops: Optional[int] = None
+
+
+# -- the base e-cube router ---------------------------------------------------------
+
+
+class ECubeRouter(ExtendedECubeRouter):
+    """Base dimension-ordered routing with no fault-region detours.
+
+    Shares the region-index representation (O(1) membership, vectorized
+    enabled views) of :class:`ExtendedECubeRouter` but reports a failed
+    delivery as soon as the e-cube next hop lands in a fault region --
+    the baseline the extended routing is measured against.
+    """
+
+    def route(self, source, destination) -> RouteResult:
+        """Route one message along the pure x-y path."""
+        self.topology.validate(source)
+        self.topology.validate(destination)
+        if self.is_disabled(source):
+            return RouteResult(source, destination, False, (source,), 0, "source disabled")
+        if self.is_disabled(destination):
+            return RouteResult(
+                source, destination, False, (source,), 0, "destination disabled"
+            )
+        path = [source]
+        current = source
+        while current != destination:
+            nxt = ecube_next_hop(current, destination)
+            assert nxt is not None
+            if self.is_disabled(nxt):
+                return RouteResult(
+                    source,
+                    destination,
+                    False,
+                    tuple(path),
+                    0,
+                    "blocked by a fault region (base e-cube has no detour)",
+                )
+            path.append(nxt)
+            current = nxt
+        return RouteResult(source, destination, True, tuple(path), 0)
+
+
+# -- the spec -----------------------------------------------------------------------
+
+#: A builder instantiates the router: ``(topology, regions, region_index, options)``.
+Builder = Callable[[Topology, Sequence, Optional[np.ndarray], RouterOptions], Any]
+
+
+@dataclass(frozen=True)
+class RouterSpec:
+    """One registered router."""
+
+    key: str
+    label: str
+    description: str
+    builder: Builder
+    options_type: type = RouterOptions
+    aliases: Tuple[str, ...] = ()
+
+    def make_options(
+        self,
+        options: Optional[RouterOptions] = None,
+        overrides: Optional[Mapping[str, Any]] = None,
+    ) -> RouterOptions:
+        """Validate/construct the option set for one build call."""
+        return make_spec_options("router", self, options, overrides)
+
+    def build(
+        self,
+        construction: Any = None,
+        topology: Optional[Topology] = None,
+        *,
+        regions: Optional[Sequence] = None,
+        region_index: Optional[np.ndarray] = None,
+        options: Optional[RouterOptions] = None,
+        **overrides: Any,
+    ):
+        """Instantiate the router with the uniform signature.
+
+        *construction* is a :class:`repro.api.ConstructionResult` (or any
+        legacy construction object exposing ``grid`` and ``regions``);
+        its topology and -- when present and shape-compatible -- its
+        region-index grid are reused.  Alternatively pass explicit
+        ``regions=`` (any iterable of coordinate sets) with ``topology=``
+        and, optionally, a precomputed ``region_index=`` grid.
+        """
+        opts = self.make_options(options, overrides)
+        if construction is not None:
+            if topology is None:
+                topology = construction.grid.topology
+            if regions is None:
+                regions = construction.regions
+            if region_index is None:
+                region_index = getattr(construction, "region_index", None)
+            if region_index is not None and region_index.shape != (
+                topology.width,
+                topology.height,
+            ):
+                region_index = None
+        if topology is None or regions is None:
+            raise ValueError(
+                "RouterSpec.build needs a construction result or explicit "
+                "regions= and topology= keywords"
+            )
+        return self.builder(topology, regions, region_index, opts)
+
+
+# -- the registry -------------------------------------------------------------------
+
+_ROUTERS = SpecRegistry("router")
+
+
+def register_router(spec: RouterSpec, replace: bool = False) -> RouterSpec:
+    """Register *spec* (and its aliases) in the global router registry.
+
+    Registration makes the router available to ``get_router``,
+    :meth:`repro.api.MeshSession.route`, the routing sweeps of
+    :class:`repro.api.SweepExecutor` and the CLI ``route --router``
+    option.  Raises ``ValueError`` on key collisions unless *replace*.
+    """
+    return _ROUTERS.register(spec, replace)
+
+
+def get_router(key: str) -> RouterSpec:
+    """Look up a router by key or alias (case-insensitive)."""
+    return _ROUTERS.get(key)
+
+
+def available_routers() -> List[RouterSpec]:
+    """Return every registered router spec, in registration order."""
+    return _ROUTERS.available()
+
+
+def router_keys() -> Tuple[str, ...]:
+    """Return the registered router keys, in registration order."""
+    return _ROUTERS.keys()
+
+
+# -- built-in routers ---------------------------------------------------------------
+
+
+def _build_ecube(topology, regions, region_index, options):
+    return ECubeRouter(topology, regions, region_index=region_index)
+
+
+def _build_extended_ecube(topology, regions, region_index, options):
+    return ExtendedECubeRouter(
+        topology, regions, max_hops=options.max_hops, region_index=region_index
+    )
+
+
+register_router(
+    RouterSpec(
+        key="ecube",
+        label="EC",
+        description="base dimension-ordered x-y routing (no detours)",
+        builder=_build_ecube,
+        options_type=ECubeOptions,
+        aliases=("e-cube", "xy"),
+    )
+)
+register_router(
+    RouterSpec(
+        key="extended-ecube",
+        label="XEC",
+        description="e-cube with boundary-ring traversals around convex regions",
+        builder=_build_extended_ecube,
+        options_type=ExtendedECubeOptions,
+        aliases=("extended", "extended-e-cube"),
+    )
+)

@@ -1,97 +1,49 @@
-"""Whole-network routing experiments.
+"""Legacy whole-network routing simulator (deprecated shim).
 
-The simulator routes a batch of random messages through a mesh whose fault
-regions come from one of the fault-region constructions, and summarises how
-the construction choice affects the routing layer: how many node pairs are
-still routable, how long the paths get, and how often messages have to
-travel around a region.  The routing ablation benchmark uses it to compare
-FB, FP and MFP regions built from the same fault pattern.
+.. deprecated:: 1.2
+    :class:`RoutingSimulator` predates the unified routing API.  New code
+    should go through :meth:`repro.api.MeshSession.route` (or build a
+    router via ``repro.api.get_router(...)`` and generate workloads via
+    ``repro.api.get_traffic(...)``)::
+
+        session = MeshSession.from_scenario(scenario)
+        stats = session.route("mfp", traffic="uniform", messages=500, seed=1)
+
+    The shim delegates to exactly that machinery -- the extended e-cube
+    router from the router registry and the ``uniform`` workload from the
+    traffic registry -- so the statistics it produces are bit-identical to
+    the session path on the same seed (asserted by
+    ``tests/test_api_routing.py``).
+
+:class:`RoutingStats` moved to :mod:`repro.routing.stats` and is re-exported
+here unchanged for backward compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.regions import FaultRegion
-from repro.mesh.topology import Mesh2D, Topology
-from repro.routing.channels import (
-    assign_channels,
-    channel_dependency_graph,
-    has_cyclic_dependency,
-)
-from repro.routing.ecube import manhattan_distance
-from repro.routing.extended_ecube import ExtendedECubeRouter, RouteResult
+from repro.mesh.topology import Topology
+from repro.routing.registry import get_router
+from repro.routing.stats import MissingRouteResultsError, RoutingStats
+from repro.routing.traffic import TrafficContext, get_traffic
 from repro.types import Coord
 
+__all__ = ["MissingRouteResultsError", "RoutingSimulator", "RoutingStats"]
 
-@dataclass
-class RoutingStats:
-    """Aggregate statistics of one routing experiment.
-
-    ``collect_results`` keeps every individual :class:`RouteResult` in
-    ``results``.  It is off by default: large sweeps route millions of
-    messages and only need the scalar aggregates, so the unbounded
-    per-message list would dominate memory.  Opt in for tests and for
-    post-hoc path analysis (e.g. :meth:`RoutingSimulator.deadlock_free`).
-    """
-
-    attempted: int = 0
-    delivered: int = 0
-    failed: int = 0
-    total_hops: int = 0
-    total_detour: int = 0
-    minimal_routes: int = 0
-    abnormal_routes: int = 0
-    results: List[RouteResult] = field(default_factory=list)
-    collect_results: bool = False
-
-    @property
-    def delivery_rate(self) -> float:
-        """Fraction of attempted messages that reached their destination."""
-        return self.delivered / self.attempted if self.attempted else 1.0
-
-    @property
-    def mean_hops(self) -> float:
-        """Average number of hops over delivered messages."""
-        return self.total_hops / self.delivered if self.delivered else 0.0
-
-    @property
-    def mean_detour(self) -> float:
-        """Average extra hops (over the fault-free minimum) of delivered messages."""
-        return self.total_detour / self.delivered if self.delivered else 0.0
-
-    @property
-    def minimal_fraction(self) -> float:
-        """Fraction of delivered messages that used a minimal path."""
-        return self.minimal_routes / self.delivered if self.delivered else 1.0
-
-    @property
-    def abnormal_fraction(self) -> float:
-        """Fraction of delivered messages that had to route around a region."""
-        return self.abnormal_routes / self.delivered if self.delivered else 0.0
-
-    def record(self, result: RouteResult) -> None:
-        """Fold one route result into the aggregate."""
-        self.attempted += 1
-        if self.collect_results:
-            self.results.append(result)
-        if not result.delivered:
-            self.failed += 1
-            return
-        self.delivered += 1
-        self.total_hops += result.hops
-        self.total_detour += result.detour
-        if result.is_minimal:
-            self.minimal_routes += 1
-        if result.abnormal_hops:
-            self.abnormal_routes += 1
+_DEPRECATION_MESSAGE = (
+    "RoutingSimulator is deprecated; use repro.api.MeshSession.route(...) "
+    "(or repro.api.get_router(...).build(...) with a repro.api.get_traffic(...) "
+    "workload) instead"
+)
 
 
 class RoutingSimulator:
-    """Route random messages through a mesh with fault regions."""
+    """Route random messages through a mesh with fault regions (deprecated)."""
 
     def __init__(
         self,
@@ -101,15 +53,17 @@ class RoutingSimulator:
         collect_results: bool = False,
         region_index: Optional[np.ndarray] = None,
     ) -> None:
+        warnings.warn(_DEPRECATION_MESSAGE, DeprecationWarning, stacklevel=2)
         self.topology = topology
         self.collect_results = collect_results
-        self.router = ExtendedECubeRouter(topology, regions, region_index=region_index)
+        self.router = get_router("extended-ecube").build(
+            regions=regions, topology=topology, region_index=region_index
+        )
         self.rng = np.random.default_rng(seed)
-        # Enabled endpoints as index arrays, in the same (x, y) order as
-        # iterating topology.nodes(); coordinate tuples are only built for
-        # the pairs actually drawn, so instantiating a simulator costs one
-        # nonzero() instead of materialising ~width*height tuples.
-        self._enabled_xs, self._enabled_ys = self.router.enabled_arrays()
+        self._context = TrafficContext.from_router(self.router)
+        # Kept as public-ish attributes for backward compatibility.
+        self._enabled_xs = self._context.enabled_xs
+        self._enabled_ys = self._context.enabled_ys
 
     @classmethod
     def from_construction(
@@ -119,19 +73,10 @@ class RoutingSimulator:
         topology: Optional[Topology] = None,
         collect_results: bool = False,
     ) -> "RoutingSimulator":
-        """Build a simulator from a construction result.
+        """Build a simulator from a construction result (deprecated).
 
-        Accepts a :class:`repro.api.ConstructionResult` or any legacy
-        construction object exposing ``grid`` and ``regions``, so a
-        registry key is all that is needed to go from fault set to routing
-        experiment::
-
-            result = repro.api.get_construction("mfp").build(scenario)
-            stats = RoutingSimulator.from_construction(result, seed=1).run(500)
-
-        Constructions built by the mask kernel carry a region-index grid;
-        it is handed to the router so region membership is an O(1) array
-        read from the start.
+        Use ``repro.api.get_router("extended-ecube").build(construction)``
+        or :meth:`repro.api.MeshSession.route` instead.
         """
         if topology is None:
             topology = construction.grid.topology
@@ -141,58 +86,67 @@ class RoutingSimulator:
             topology.height,
         ):
             region_index = None
-        return cls(
-            topology,
-            construction.regions,
-            seed=seed,
-            collect_results=collect_results,
-            region_index=region_index,
+        with warnings.catch_warnings():
+            # One warning per entry point: the constructor's would point
+            # at this classmethod rather than the caller.
+            warnings.simplefilter("ignore", DeprecationWarning)
+            simulator = cls(
+                topology,
+                construction.regions,
+                seed=seed,
+                collect_results=collect_results,
+                region_index=region_index,
+            )
+        warnings.warn(
+            "RoutingSimulator.from_construction is deprecated; use "
+            'repro.api.get_router("extended-ecube").build(construction) or '
+            "repro.api.MeshSession.route(...) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        return simulator
 
     @property
     def num_enabled(self) -> int:
         """Number of nodes still available as message endpoints."""
-        return int(self._enabled_xs.size)
+        return self._context.num_enabled
 
     def random_pairs(self, count: int) -> List[Tuple[Coord, Coord]]:
-        """Draw random (source, destination) pairs among enabled nodes."""
-        num = self.num_enabled
-        if num < 2:
-            return []
-        indices = self.rng.integers(0, num, size=(count, 2))
-        sources, destinations = indices[:, 0], indices[:, 1]
-        destinations = np.where(
-            sources == destinations, (destinations + 1) % num, destinations
-        )
-        return list(
-            zip(
-                zip(
-                    self._enabled_xs[sources].tolist(),
-                    self._enabled_ys[sources].tolist(),
-                ),
-                zip(
-                    self._enabled_xs[destinations].tolist(),
-                    self._enabled_ys[destinations].tolist(),
-                ),
-            )
-        )
+        """Draw random (source, destination) pairs among enabled nodes.
 
-    def run(self, num_messages: int = 1000) -> RoutingStats:
-        """Route *num_messages* random messages and return the statistics."""
-        stats = RoutingStats(collect_results=self.collect_results)
+        Delegates to the ``uniform`` workload of the traffic registry on
+        the simulator's stateful generator, so consecutive calls keep
+        advancing ``self.rng`` exactly as the historical implementation
+        did.
+        """
+        batch = get_traffic("uniform").generate(self._context, count, rng=self.rng)
+        return list(batch.pairs())
+
+    def run(self, num_messages: int = 1000, check_deadlock: bool = False) -> RoutingStats:
+        """Route *num_messages* random messages and return the statistics.
+
+        *check_deadlock* runs the channel-dependency analysis on the
+        delivered routes; per-route result collection is enabled
+        automatically for that run, so the check cannot raise
+        :class:`MissingRouteResultsError`.
+        """
+        stats = RoutingStats(
+            collect_results=self.collect_results or check_deadlock,
+            enabled=self.num_enabled,
+            traffic="uniform",
+            router="extended-ecube",
+        )
         for source, destination in self.random_pairs(num_messages):
             stats.record(self.router.route(source, destination))
+        if check_deadlock:
+            stats.deadlock_free()
         return stats
 
     def deadlock_free(self, stats: RoutingStats) -> bool:
-        """Check the channel-dependency graph of delivered routes for cycles."""
-        if stats.delivered and not stats.results:
-            raise ValueError(
-                "deadlock_free() needs the individual route results; run the "
-                "simulator with collect_results=True"
-            )
-        assignments = [
-            assign_channels(result) for result in stats.results if result.delivered
-        ]
-        graph = channel_dependency_graph(assignments)
-        return not has_cyclic_dependency(graph)
+        """Check the channel-dependency graph of delivered routes for cycles.
+
+        Raises :class:`MissingRouteResultsError` (a ``ValueError``) when
+        *stats* was recorded without ``collect_results=True``; prefer
+        ``run(check_deadlock=True)``, which collects automatically.
+        """
+        return stats.deadlock_free()

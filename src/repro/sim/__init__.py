@@ -1,22 +1,31 @@
 """Experiment harness reproducing the paper's evaluation (Section 4).
 
 * :mod:`repro.sim.metrics` -- per-scenario metric records comparing the
-  FB / FP / MFP constructions.
+  FB / FP / MFP constructions, plus their routing-sweep counterparts.
 * :mod:`repro.sim.experiments` -- runs all constructions on one scenario or
-  on a fault-count sweep.
+  on a fault-count sweep, and routes synthetic traffic workloads over a
+  sweep (``run_routing_sweep``).
 * :mod:`repro.sim.figures` -- regenerates the data series behind Figures 9,
-  10 and 11 (both fault-distribution panels each) and renders them as text
-  tables.
+  10 and 11 (both fault-distribution panels each) and the routing-metric
+  series of the routing extension, rendered as text tables.
 """
 
-from repro.sim.metrics import ConstructionMetrics, ScenarioMetrics, SweepPoint
-from repro.sim.experiments import compare_constructions, run_sweep
+from repro.sim.metrics import (
+    ConstructionMetrics,
+    RoutingMetrics,
+    RoutingScenarioMetrics,
+    RoutingSweepPoint,
+    ScenarioMetrics,
+    SweepPoint,
+)
+from repro.sim.experiments import compare_constructions, run_routing_sweep, run_sweep
 from repro.sim.figures import (
     FigureSeries,
     figure9_series,
     figure10_series,
     figure11_series,
     format_series_table,
+    routing_series,
 )
 from repro.sim.render import render_ascii_chart, render_comparison_summary
 from repro.sim.registry import (
@@ -31,12 +40,17 @@ __all__ = [
     "ConstructionMetrics",
     "ScenarioMetrics",
     "SweepPoint",
+    "RoutingMetrics",
+    "RoutingScenarioMetrics",
+    "RoutingSweepPoint",
     "compare_constructions",
     "run_sweep",
+    "run_routing_sweep",
     "FigureSeries",
     "figure9_series",
     "figure10_series",
     "figure11_series",
+    "routing_series",
     "format_series_table",
     "render_ascii_chart",
     "render_comparison_summary",

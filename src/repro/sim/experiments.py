@@ -2,25 +2,28 @@
 
 Thin compatibility layer over :mod:`repro.api`: ``compare_constructions``
 runs the registered constructions (FB, FP, MFP/CMFP and optionally DMFP)
-on one fault pattern via the construction registry, and ``run_sweep``
+on one fault pattern via the construction registry, ``run_sweep``
 delegates the fault-count sweep -- exactly the shape of the paper's
 simulation ("faults are sequentially added", "a simulation has been
 conducted in a 100x100 mesh ... the number of faults is no more than 800")
 -- to :class:`repro.api.SweepExecutor`, which can fan trials out over
-worker processes.
+worker processes, and ``run_routing_sweep`` does the same for the routing
+extension: every trial routes one synthetic traffic batch (see
+:mod:`repro.routing.traffic`) over each model's regions.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 from repro.api.executor import (
     DEFAULT_MODELS,
+    DEFAULT_ROUTING_MODELS,
     SweepExecutor,
     collect_scenario_metrics,
 )
 from repro.faults.scenario import FaultScenario
-from repro.sim.metrics import ScenarioMetrics, SweepPoint
+from repro.sim.metrics import RoutingSweepPoint, ScenarioMetrics, SweepPoint
 
 
 def _model_keys(include_distributed: bool) -> tuple:
@@ -63,6 +66,7 @@ def run_sweep(
     include_distributed: bool = True,
     include_rounds: bool = True,
     cluster_factor: float = 2.0,
+    torus: bool = False,
     workers: int = 1,
 ) -> List[SweepPoint]:
     """Run the constructions over a fault-count sweep.
@@ -72,6 +76,7 @@ def run_sweep(
     inside a trial share the same fault pattern (paired comparison).  Pass
     ``workers`` > 1 (or ``None`` for all CPUs) to fan the trials out over a
     process pool; the per-trial seeds are deterministic either way.
+    ``torus`` runs the sweep on a 2-D torus instead of the paper's mesh.
     """
     executor = SweepExecutor(
         models=_model_keys(include_distributed), workers=workers
@@ -83,5 +88,48 @@ def run_sweep(
         distribution=distribution,
         base_seed=base_seed,
         cluster_factor=cluster_factor,
+        torus=torus,
         include_rounds=include_rounds,
+    )
+
+
+def run_routing_sweep(
+    fault_counts: Sequence[int],
+    trials: int = 3,
+    width: int = 100,
+    distribution: str = "random",
+    base_seed: int = 0,
+    models: Tuple[str, ...] = DEFAULT_ROUTING_MODELS,
+    router: str = "extended-ecube",
+    traffic: str = "uniform",
+    messages: int = 500,
+    cluster_factor: float = 2.0,
+    torus: bool = False,
+    workers: int = 1,
+    reducer=None,
+) -> List[RoutingSweepPoint]:
+    """Route synthetic traffic over a fault-count sweep.
+
+    Returns one :class:`~repro.sim.metrics.RoutingSweepPoint` per entry of
+    *fault_counts*.  Every trial builds *models* (construction registry
+    keys) on one generated fault pattern and routes the same seeded
+    *traffic* batch (traffic registry key) through *router* (router
+    registry key) over each -- the paired comparison of the routing
+    ablation, generalised to the whole synthetic workload suite.  Like
+    :func:`run_sweep`, trials fan out over ``workers`` processes with
+    deterministic per-trial seeds.
+    """
+    executor = SweepExecutor(models=models, workers=workers)
+    return executor.run_routing(
+        fault_counts,
+        trials,
+        width=width,
+        distribution=distribution,
+        base_seed=base_seed,
+        cluster_factor=cluster_factor,
+        torus=torus,
+        router=router,
+        traffic=traffic,
+        messages=messages,
+        reducer=reducer,
     )

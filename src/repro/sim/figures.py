@@ -12,10 +12,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.sim.experiments import run_sweep
-from repro.sim.metrics import SweepPoint
+from repro.sim.experiments import run_routing_sweep, run_sweep
+from repro.sim.metrics import RoutingSweepPoint, SweepPoint
 
 #: Fault counts used by the paper's sweep (0 is omitted: it is trivially 0).
 DEFAULT_FAULT_COUNTS: Sequence[int] = (100, 200, 300, 400, 500, 600, 700, 800)
@@ -161,6 +161,69 @@ def figure11_series(
     )
     for model in ("FB", "FP", "CMFP", "DMFP"):
         figure.series[model] = [p.mean_rounds(model) for p in points]
+    return figure
+
+
+#: Routing-series metrics -> (RoutingSweepPoint accessor, y-axis label).
+ROUTING_METRICS: Dict[str, tuple] = {
+    "delivery_rate": ("mean_delivery_rate", "Delivery rate"),
+    "mean_hops": ("mean_hops", "Mean hops per delivered message"),
+    "mean_detour": ("mean_detour", "Mean detour (extra hops)"),
+    "abnormal_fraction": ("mean_abnormal_fraction", "Fraction of abnormal routes"),
+    "enabled": ("mean_enabled", "Usable endpoint nodes"),
+}
+
+
+def routing_series(
+    metric: str = "delivery_rate",
+    distribution: str = "clustered",
+    fault_counts: Sequence[int] = DEFAULT_FAULT_COUNTS,
+    trials: int = 2,
+    width: int = 100,
+    base_seed: int = 0,
+    traffic: str = "uniform",
+    router: str = "extended-ecube",
+    messages: int = 500,
+    torus: bool = False,
+    points: Optional[List[RoutingSweepPoint]] = None,
+    workers: int = 1,
+) -> FigureSeries:
+    """Routing extension: one routing *metric* per fault model vs. fault count.
+
+    Not a figure of the paper, but its motivation (Sections 1-2) measured:
+    how the fault-region model affects the routing layer under a synthetic
+    *traffic* workload.  Pass precomputed ``points`` (from
+    :func:`repro.sim.experiments.run_routing_sweep`) to reuse one sweep
+    for several metrics.
+    """
+    try:
+        accessor, y_label = ROUTING_METRICS[metric]
+    except KeyError:
+        known = ", ".join(sorted(ROUTING_METRICS))
+        raise KeyError(f"unknown routing metric {metric!r}; known: {known}") from None
+    if points is None:
+        points = run_routing_sweep(
+            fault_counts=fault_counts,
+            trials=trials,
+            width=width,
+            distribution=distribution,
+            base_seed=base_seed,
+            traffic=traffic,
+            router=router,
+            messages=messages,
+            torus=torus,
+            workers=workers,
+        )
+    figure = FigureSeries(
+        figure=f"routing/{metric} ({traffic})",
+        distribution=distribution,
+        x_label="Number of faulty nodes",
+        y_label=y_label,
+        x_values=[p.num_faults for p in points],
+    )
+    models = points[0].models() if points else []
+    for model in models:
+        figure.series[model] = [getattr(p, accessor)(model) for p in points]
     return figure
 
 

@@ -11,13 +11,19 @@ count, distribution) combination:
 :class:`ConstructionMetrics` captures those scalars for a single
 construction run; :class:`ScenarioMetrics` groups the runs that share a
 fault pattern; :class:`SweepPoint` averages scenarios at one fault count.
+
+The routing sweeps (an extension beyond the paper's figures) mirror the
+same three-level shape: :class:`RoutingMetrics` captures the scalars of
+one routed message batch, :class:`RoutingScenarioMetrics` groups the fault
+models routed over one fault pattern, and :class:`RoutingSweepPoint`
+averages the scenarios at one fault count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from statistics import mean
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Optional
 
 
 @dataclass(frozen=True)
@@ -105,3 +111,111 @@ class SweepPoint:
     def mean_saving_vs_fb(self, model: str) -> float:
         """Average fraction of FB's sacrificed nodes re-enabled by *model*."""
         return self._mean_over(lambda s: s.saving_vs_fb(model))
+
+
+# -- routing sweeps -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RoutingMetrics:
+    """Scalars of one routed message batch over one construction's regions."""
+
+    model: str
+    traffic: str
+    router: str
+    num_faults: int
+    enabled: int
+    attempted: int
+    delivered: int
+    delivery_rate: float
+    mean_hops: float
+    mean_detour: float
+    minimal_fraction: float
+    abnormal_fraction: float
+
+    @classmethod
+    def from_stats(
+        cls,
+        stats,
+        *,
+        model: Optional[str] = None,
+        num_faults: int = 0,
+    ) -> "RoutingMetrics":
+        """Extract the scalars from a :class:`repro.routing.RoutingStats`."""
+        return cls(
+            model=model if model is not None else stats.model,
+            traffic=stats.traffic,
+            router=stats.router,
+            num_faults=num_faults,
+            enabled=stats.enabled,
+            attempted=stats.attempted,
+            delivered=stats.delivered,
+            delivery_rate=stats.delivery_rate,
+            mean_hops=stats.mean_hops,
+            mean_detour=stats.mean_detour,
+            minimal_fraction=stats.minimal_fraction,
+            abnormal_fraction=stats.abnormal_fraction,
+        )
+
+
+@dataclass
+class RoutingScenarioMetrics:
+    """All routing metrics for one fault scenario (one record per model)."""
+
+    num_faults: int
+    distribution: str
+    seed: int
+    traffic: str = "uniform"
+    router: str = "extended-ecube"
+    per_model: Dict[str, RoutingMetrics] = field(default_factory=dict)
+
+    def add(self, metrics: RoutingMetrics) -> None:
+        """Register the metrics of one routed construction."""
+        self.per_model[metrics.model] = metrics
+
+    def value(self, model: str, metric: str) -> float:
+        """Read one scalar (attribute name) of *model*'s record."""
+        return getattr(self.per_model[model], metric)
+
+
+@dataclass
+class RoutingSweepPoint:
+    """Average of several routed scenarios at one fault count."""
+
+    num_faults: int
+    distribution: str
+    scenarios: List[RoutingScenarioMetrics] = field(default_factory=list)
+
+    def add(self, scenario: RoutingScenarioMetrics) -> None:
+        """Register one scenario's routing metrics."""
+        self.scenarios.append(scenario)
+
+    def models(self) -> List[str]:
+        """The model labels present at this point (first scenario's order)."""
+        return list(self.scenarios[0].per_model) if self.scenarios else []
+
+    def mean(self, model: str, metric: str) -> float:
+        """Average one scalar (attribute name) of *model* over the scenarios."""
+        if not self.scenarios:
+            return 0.0
+        return mean(s.value(model, metric) for s in self.scenarios)
+
+    def mean_delivery_rate(self, model: str) -> float:
+        """Average fraction of delivered messages for *model*."""
+        return self.mean(model, "delivery_rate")
+
+    def mean_hops(self, model: str) -> float:
+        """Average hop count of delivered messages for *model*."""
+        return self.mean(model, "mean_hops")
+
+    def mean_detour(self, model: str) -> float:
+        """Average detour (extra hops) of delivered messages for *model*."""
+        return self.mean(model, "mean_detour")
+
+    def mean_abnormal_fraction(self, model: str) -> float:
+        """Average fraction of messages routed around a region for *model*."""
+        return self.mean(model, "abnormal_fraction")
+
+    def mean_enabled(self, model: str) -> float:
+        """Average number of usable endpoint nodes for *model*."""
+        return self.mean(model, "enabled")

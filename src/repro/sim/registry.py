@@ -9,8 +9,8 @@ figure panel plus one per ablation that goes beyond the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 
 #: Figure-series labels -> construction registry keys (repro.api.registry).
@@ -162,9 +162,32 @@ EXPERIMENTS: Dict[str, Experiment] = {
             description="impact of the fault-region model on extended e-cube routing",
             quantity="usable endpoints, delivery rate, mean hops/detour",
             series=("FB", "FP", "MFP"),
-            workload="60x60 mesh, 200 clustered faults, 400 random messages",
-            modules=("repro.routing.simulator", "repro.routing.extended_ecube"),
+            workload="60x60 mesh, 200 clustered faults, 400 uniform-random messages",
+            modules=(
+                "repro.api.routing",
+                "repro.routing.registry",
+                "repro.routing.extended_ecube",
+            ),
             bench_target="benchmarks/bench_ablation_routing.py::test_routing_ablation",
+            in_paper=False,
+        ),
+        Experiment(
+            key="ablation-traffic",
+            paper_reference="extension of the Section 2.2 routing application",
+            description="synthetic traffic suite routed over MFP regions",
+            quantity="delivery rate, mean hops/detour per traffic pattern",
+            series=("MFP",),
+            workload=(
+                "uniform / transpose / bit-reversal / hotspot / "
+                "nearest-neighbour / permutation batches over one clustered "
+                "fault pattern"
+            ),
+            modules=(
+                "repro.routing.traffic",
+                "repro.api.routing",
+                "repro.routing.extended_ecube",
+            ),
+            bench_target="benchmarks/bench_traffic_patterns.py",
             in_paper=False,
         ),
         Experiment(

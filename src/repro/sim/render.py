@@ -9,7 +9,7 @@ plotting dependency.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.sim.figures import FigureSeries
 

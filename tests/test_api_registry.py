@@ -5,7 +5,6 @@ import warnings
 import pytest
 
 from repro.api import (
-    ConstructionOptions,
     ConstructionResult,
     ConstructionSpec,
     MinimumPolygonOptions,
@@ -73,7 +72,6 @@ class TestUniformBuild:
         assert via_scenario.disabled_set() == via_faults.disabled_set()
 
     def test_results_match_legacy_builders(self, scenario):
-        topology = scenario.topology()
         legacy = {
             "fb": build_faulty_blocks,
             "fp": build_sub_minimum_polygons,

@@ -1,0 +1,292 @@
+"""Tests for the unified routing API (router registry, RoutingSession,
+SweepExecutor routing sweeps) and the legacy RoutingSimulator shim."""
+
+
+import pytest
+
+from repro.api import (
+    MeshSession,
+    MissingRouteResultsError,
+    RouterSpec,
+    SweepExecutor,
+    get_router,
+    register_router,
+    router_keys,
+    run_routing_trial,
+)
+from repro.faults.scenario import generate_scenario
+from repro.mesh.topology import Mesh2D
+from repro.routing.registry import ECubeRouter, ExtendedECubeOptions
+from repro.routing.simulator import RoutingSimulator
+from repro.sim.experiments import run_routing_sweep
+from repro.sim.figures import routing_series
+
+
+@pytest.fixture
+def clustered_session():
+    scenario = generate_scenario(num_faults=50, width=20, model="clustered", seed=13)
+    return MeshSession.from_scenario(scenario)
+
+
+def _stats_fingerprint(stats):
+    return (
+        stats.attempted,
+        stats.delivered,
+        stats.failed,
+        stats.total_hops,
+        stats.total_detour,
+        stats.minimal_routes,
+        stats.abnormal_routes,
+    )
+
+
+class TestRouterRegistry:
+    def test_builtin_routers_registered(self):
+        assert set(router_keys()) >= {"ecube", "extended-ecube"}
+        assert get_router("extended") is get_router("extended-ecube")
+        assert get_router("XY") is get_router("ecube")
+
+    def test_unknown_router_lists_registered(self):
+        with pytest.raises(KeyError, match="extended-ecube"):
+            get_router("wormhole")
+
+    def test_build_from_construction_result(self, clustered_session):
+        result = clustered_session.build("mfp")
+        router = get_router("extended-ecube").build(result)
+        assert router.topology == clustered_session.topology
+        assert router.num_enabled == 400 - len(router.disabled)
+        some_disabled = next(iter(router.disabled))
+        assert router.region_of(some_disabled) >= 0
+
+    def test_build_from_explicit_regions(self, figure2_region):
+        router = get_router("ecube").build(
+            regions=[figure2_region], topology=Mesh2D(10, 10)
+        )
+        assert isinstance(router, ECubeRouter)
+        assert router.is_disabled((2, 4))
+
+    def test_build_requires_regions_or_construction(self):
+        with pytest.raises(ValueError, match="construction result or explicit"):
+            get_router("ecube").build(topology=Mesh2D(5, 5))
+
+    def test_option_overrides(self, clustered_session):
+        result = clustered_session.build("mfp")
+        router = get_router("extended-ecube").build(result, max_hops=3)
+        assert router.max_hops == 3
+        with pytest.raises(TypeError, match="ExtendedECubeOptions"):
+            get_router("ecube").build(result, options=ExtendedECubeOptions())
+
+    def test_duplicate_registration_rejected(self):
+        spec = get_router("ecube")
+        with pytest.raises(ValueError, match="already registered"):
+            register_router(
+                RouterSpec(
+                    key="ecube",
+                    label="EC2",
+                    description="clash",
+                    builder=spec.builder,
+                )
+            )
+
+    def test_ecube_baseline_never_beats_extended(self, clustered_session):
+        extended = clustered_session.route("mfp", messages=300, seed=2)
+        baseline = clustered_session.route("mfp", router="ecube", messages=300, seed=2)
+        assert baseline.delivered <= extended.delivered
+        assert baseline.abnormal_routes == 0
+
+
+class TestRoutingSession:
+    def test_route_returns_annotated_stats(self, clustered_session):
+        stats = clustered_session.route("mfp", traffic="transpose", messages=120, seed=3)
+        assert stats.attempted == 120
+        assert stats.model == "MFP"
+        assert stats.traffic == "transpose"
+        assert stats.router == "extended-ecube"
+        assert stats.enabled > 0
+        assert 0.0 <= stats.delivery_rate <= 1.0
+
+    def test_routers_cached_until_faults_change(self, clustered_session):
+        first = clustered_session.router()
+        assert clustered_session.router() is first
+        hits = clustered_session.cache_info["router_hits"]
+        assert hits >= 1
+        clustered_session.add_faults([(0, 0)])
+        assert clustered_session.router() is not first
+
+    def test_route_reflects_fault_updates(self, clustered_session):
+        before = clustered_session.route("mfp", messages=100, seed=1)
+        clustered_session.add_faults([(10, 2), (10, 3), (11, 2)])
+        after = clustered_session.route("mfp", messages=100, seed=1)
+        assert after.enabled < before.enabled
+
+    def test_route_is_deterministic_per_seed(self, clustered_session):
+        a = clustered_session.route("fp", traffic="hotspot", messages=150, seed=9)
+        b = clustered_session.route("fp", traffic="hotspot", messages=150, seed=9)
+        assert _stats_fingerprint(a) == _stats_fingerprint(b)
+
+    def test_route_on_torus_session(self):
+        scenario = generate_scenario(
+            num_faults=20, width=12, model="clustered", seed=4, torus=True
+        )
+        session = MeshSession.from_scenario(scenario)
+        stats = session.route("mfp", messages=80, seed=1)
+        assert stats.attempted == 80
+        assert stats.delivery_rate > 0.0
+
+    def test_traffic_option_overrides_forwarded(self, clustered_session):
+        default = clustered_session.route(
+            "mfp", traffic="nearest-neighbour", messages=100, seed=2
+        )
+        wider = clustered_session.route(
+            "mfp", traffic="nearest-neighbour", messages=100, seed=2, radius=2
+        )
+        # Radius 1 sends over single links only; the override must widen it.
+        assert default.mean_hops == 1.0 and default.mean_detour == 0.0
+        assert wider.attempted == 100
+        assert wider.mean_hops > 1.0
+
+
+class TestDeadlockFootgun:
+    def test_check_deadlock_auto_enables_collection(self, clustered_session):
+        stats = clustered_session.route("mfp", messages=80, seed=5, check_deadlock=True)
+        assert stats.results  # collection was enabled automatically
+        assert stats.deadlock_free() in (True, False)
+
+    def test_structured_error_without_results(self, clustered_session):
+        stats = clustered_session.route("mfp", messages=80, seed=5)
+        assert stats.results == []
+        with pytest.raises(MissingRouteResultsError, match="collect_results"):
+            stats.deadlock_free()
+        # The structured error still satisfies legacy ValueError handlers.
+        assert issubclass(MissingRouteResultsError, ValueError)
+
+    def test_legacy_run_check_deadlock_auto_collects(self, figure2_region):
+        with pytest.warns(DeprecationWarning):
+            simulator = RoutingSimulator(Mesh2D(10, 10), [figure2_region], seed=4)
+        stats = simulator.run(50, check_deadlock=True)
+        assert stats.results
+        assert simulator.deadlock_free(stats) in (True, False)
+
+
+class TestLegacySimulatorShim:
+    def test_constructor_and_from_construction_warn(self, clustered_session):
+        result = clustered_session.build("mfp")
+        with pytest.warns(DeprecationWarning, match="MeshSession.route"):
+            RoutingSimulator(clustered_session.topology, result.regions)
+        with pytest.warns(DeprecationWarning, match="from_construction"):
+            RoutingSimulator.from_construction(result)
+
+    def test_legacy_uniform_stats_identical_to_session(self, clustered_session):
+        result = clustered_session.build("mfp")
+        with pytest.warns(DeprecationWarning):
+            simulator = RoutingSimulator.from_construction(result, seed=21)
+        legacy = simulator.run(250)
+        session_stats = clustered_session.route(
+            "mfp", traffic="uniform", messages=250, seed=21
+        )
+        assert _stats_fingerprint(legacy) == _stats_fingerprint(session_stats)
+        assert legacy.enabled == session_stats.enabled
+
+
+class TestRoutingSweeps:
+    def test_two_runs_bit_identical(self):
+        kwargs = dict(
+            fault_counts=[15, 30],
+            trials=2,
+            width=16,
+            distribution="clustered",
+            traffic="permutation",
+            messages=60,
+        )
+        def fingerprint(points):
+            return [
+                [
+                    (point.mean_delivery_rate(m), point.mean_hops(m), point.mean_detour(m))
+                    for m in point.models()
+                ]
+                for point in points
+            ]
+
+        assert fingerprint(run_routing_sweep(**kwargs)) == fingerprint(
+            run_routing_sweep(**kwargs)
+        )
+
+    def test_serial_equals_parallel(self):
+        kwargs = dict(fault_counts=[20], trials=2, width=16, messages=50)
+        serial = run_routing_sweep(workers=1, **kwargs)
+        parallel = run_routing_sweep(workers=2, **kwargs)
+        for a, b in zip(serial, parallel):
+            assert a.num_faults == b.num_faults
+            for model in a.models():
+                assert a.mean_delivery_rate(model) == b.mean_delivery_rate(model)
+                assert a.mean_hops(model) == b.mean_hops(model)
+
+    def test_pluggable_reducer(self):
+        seen = []
+
+        def reducer(num_faults, distribution, trials):
+            seen.append((num_faults, distribution, len(trials)))
+            return num_faults
+
+        points = SweepExecutor(models=("fb",), workers=1).run_routing(
+            [10, 20], trials=2, width=14, messages=30, reducer=reducer
+        )
+        assert points == [10, 20]
+        assert seen == [(10, "random", 2), (20, "random", 2)]
+
+    def test_trial_spec_round_trip(self):
+        executor = SweepExecutor(models=("fb", "mfp"), workers=1)
+        specs = executor.plan_routing(
+            [12], 2, width=14, traffic="transpose", messages=40
+        )
+        assert len(specs) == 2
+        assert specs[0].seed != specs[1].seed
+        metrics = run_routing_trial(specs[0])
+        assert set(metrics.per_model) == {"FB", "MFP"}
+        assert metrics.traffic == "transpose"
+
+    def test_bad_traffic_key_fails_before_dispatch(self):
+        with pytest.raises(KeyError, match="unknown traffic"):
+            SweepExecutor(models=("fb",)).plan_routing([10], 1, traffic="nope")
+
+    def test_worker_reregisters_custom_traffic(self):
+        """A trial spec carries its traffic spec so workers whose fresh
+        registry lacks a custom workload can re-register it (regression:
+        previously only construction specs were carried)."""
+        from repro.api import RoutingTrialSpec, get_construction
+        from repro.api.executor import _custom_traffic_for_tests
+        from repro.routing.traffic import TrafficSpec, _WORKLOADS
+
+        spec_obj = TrafficSpec(
+            key="custom-traffic-test",
+            label="CT",
+            description="worker re-registration test",
+            generator=_custom_traffic_for_tests,
+        )
+        trial = RoutingTrialSpec(
+            num_faults=8,
+            seed=1,
+            width=12,
+            models=("fb",),
+            traffic="custom-traffic-test",
+            messages=20,
+            specs=(get_construction("fb"),),
+            traffic_spec=spec_obj,
+        )
+        assert "custom-traffic-test" not in _WORKLOADS.specs
+        try:
+            metrics = run_routing_trial(trial)
+            assert metrics.traffic == "custom-traffic-test"
+            assert metrics.per_model["FB"].attempted == 20
+        finally:
+            _WORKLOADS.specs.pop("custom-traffic-test", None)
+
+    def test_routing_series_from_points(self):
+        points = run_routing_sweep(
+            fault_counts=[10, 20], trials=1, width=14, messages=40
+        )
+        figure = routing_series(metric="delivery_rate", points=points)
+        assert figure.x_values == [10, 20]
+        assert set(figure.series) == {"FB", "FP", "MFP"}
+        with pytest.raises(KeyError, match="unknown routing metric"):
+            routing_series(metric="nope", points=points)

@@ -219,7 +219,6 @@ class TestCaching:
         (regression)."""
         from repro.api import ConstructionSpec, register_construction
         from repro.api.registry import _INCREMENTAL, _REGISTRY
-        from repro.api.session import _incremental_minimum_polygons
         from repro.core.mfp import build_minimum_polygons
 
         calls = []

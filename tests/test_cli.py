@@ -89,6 +89,75 @@ class TestCommands:
         assert "delivery" in captured
         assert "MFP" in captured
 
+    def test_route_with_traffic_and_router(self, capsys):
+        exit_code = main(
+            [
+                "route",
+                "--faults", "15",
+                "--width", "12",
+                "--messages", "40",
+                "--traffic", "transpose",
+                "--router", "ecube",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "traffic: transpose, router: ecube" in captured
+        assert "MFP" in captured
+
+    def test_route_rejects_unknown_traffic(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["route", "--traffic", "nope"])
+
+    def test_route_on_torus(self, capsys):
+        # The --torus flag exercised end to end through the session path.
+        exit_code = main(
+            [
+                "route",
+                "--faults", "12",
+                "--width", "10",
+                "--messages", "30",
+                "--torus",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "torus" in captured
+        assert "MFP" in captured
+
+    def test_sweep_on_torus(self, capsys):
+        exit_code = main(
+            [
+                "sweep",
+                "--width", "10",
+                "--fault-counts", "5",
+                "--trials", "1",
+                "--skip-distributed",
+                "--torus",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Figure 9a" in captured
+
+    def test_sweep_routing_mode(self, capsys):
+        exit_code = main(
+            [
+                "sweep",
+                "--routing",
+                "--width", "12",
+                "--fault-counts", "6", "12",
+                "--trials", "1",
+                "--traffic", "hotspot",
+                "--messages", "30",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "delivery_rate" in captured
+        assert "mean_detour" in captured
+        assert "MFP" in captured
+
     def test_verify_reports_ok(self, capsys):
         exit_code = main(
             ["verify", "--faults", "40", "--width", "20", "--seed", "3"]

@@ -1,6 +1,5 @@
 """Integration tests for the distributed MFP construction (DMFP)."""
 
-import pytest
 
 from repro.core.faulty_block import build_faulty_blocks
 from repro.core.mfp import build_minimum_polygons

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.distributed.engine import Envelope, NodeProgram, SynchronousEngine
+from repro.distributed.engine import NodeProgram, SynchronousEngine
 from repro.mesh.topology import Mesh2D, Torus2D
 
 

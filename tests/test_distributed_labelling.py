@@ -1,7 +1,5 @@
 """The distributed labelling protocols agree with the vectorised sweeps."""
 
-import numpy as np
-import pytest
 
 from repro.core.labelling import (
     apply_labelling_scheme_1,

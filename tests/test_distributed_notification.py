@@ -1,6 +1,5 @@
 """Unit tests for the notification phase (repro.distributed.notification)."""
 
-import pytest
 
 from repro.core.components import find_components
 from repro.distributed.notification import (

@@ -1,6 +1,5 @@
 """Unit tests for the boundary-ring construction (repro.distributed.ring)."""
 
-import pytest
 
 from repro.core.components import find_components
 from repro.distributed.ring import (

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.faults.models import ClusteredFaultModel, RandomFaultModel, make_fault_model
-from repro.faults.scenario import FaultScenario, generate_scenario, sweep_scenarios
+from repro.faults.scenario import generate_scenario, sweep_scenarios
 from repro.geometry.boundary import eight_neighbours
 from repro.mesh.topology import Mesh2D, Torus2D
 

@@ -33,7 +33,8 @@ from repro.geometry.orthogonal import (
     orthogonal_convexity_violations_sets,
 )
 from repro.mesh.topology import Mesh2D
-from repro.routing.simulator import RoutingSimulator
+from repro.routing.registry import get_router
+from repro.routing.traffic import TrafficContext, get_traffic
 
 coords = st.tuples(st.integers(0, 14), st.integers(0, 14))
 fault_sets = st.sets(coords, min_size=0, max_size=40)
@@ -201,15 +202,17 @@ class TestConstructionEquivalence:
                 sorted(faults), topology=topology, compute_rounds=False
             )
         assert kernel.region_index is not None
-        fast = RoutingSimulator.from_construction(kernel, seed=9, collect_results=True)
-        slow = RoutingSimulator.from_construction(oracle, seed=9, collect_results=True)
-        assert slow.router.region_of((0, 0)) in (-1, 0)  # exercises the rebuild path
-        fast_stats = fast.run(120)
-        slow_stats = slow.run(120)
-        assert [r.path for r in fast_stats.results] == [
-            r.path for r in slow_stats.results
-        ]
-        assert fast.router.disabled == slow.router.disabled
+        spec = get_router("extended-ecube")
+        fast = spec.build(kernel)
+        slow = spec.build(oracle)
+        assert slow.region_of((0, 0)) in (-1, 0)  # exercises the rebuild path
+        uniform = get_traffic("uniform")
+        fast_batch = uniform.generate(TrafficContext.from_router(fast), 120, seed=9)
+        slow_batch = uniform.generate(TrafficContext.from_router(slow), 120, seed=9)
+        fast_paths = [fast.route(s, d).path for s, d in fast_batch.pairs()]
+        slow_paths = [slow.route(s, d).path for s, d in slow_batch.pairs()]
+        assert fast_paths == slow_paths
+        assert fast.disabled == slow.disabled
 
 
 class TestKernelUtilities:

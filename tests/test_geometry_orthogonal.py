@@ -1,6 +1,5 @@
 """Unit tests for repro.geometry.orthogonal (Definition 1 and the hull)."""
 
-import pytest
 
 from repro.geometry.orthogonal import (
     hull_fill_nodes,

@@ -1,8 +1,6 @@
 """Integration tests that encode the paper's running examples end to end."""
 
-import pytest
 
-from repro.core.components import find_components
 from repro.core.faulty_block import build_faulty_blocks
 from repro.core.mfp import build_minimum_polygons
 from repro.core.sub_minimum import build_sub_minimum_polygons

@@ -8,7 +8,7 @@ from repro.core.labelling import (
     apply_labelling_scheme_2,
     faults_to_mask,
 )
-from repro.mesh.topology import Mesh2D, Torus2D
+from repro.mesh.topology import Torus2D
 
 
 def mask(width, height, nodes):

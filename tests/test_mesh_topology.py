@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.mesh.topology import Mesh2D, Torus2D
+from repro.mesh.topology import Mesh2D
 
 
 class TestMesh2D:

@@ -1,6 +1,5 @@
 """Unit tests for the minimum faulty polygon constructions (MFP / CMFP)."""
 
-import pytest
 
 from repro.core.components import find_components
 from repro.core.faulty_block import build_faulty_blocks

@@ -1,6 +1,6 @@
 """Property-based tests (hypothesis) for the core invariants."""
 
-from hypothesis import assume, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.core.components import find_components
 from repro.core.faulty_block import build_faulty_blocks

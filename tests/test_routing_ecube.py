@@ -1,6 +1,5 @@
 """Unit tests for the base e-cube routing."""
 
-import pytest
 
 from repro.routing.ecube import (
     column_message_type,

@@ -5,7 +5,6 @@ import pytest
 from repro.core.mfp import build_minimum_polygons
 from repro.faults.scenario import generate_scenario
 from repro.mesh.topology import Mesh2D
-from repro.routing.ecube import manhattan_distance
 from repro.routing.extended_ecube import ExtendedECubeRouter
 from repro.types import MessageType, Orientation
 

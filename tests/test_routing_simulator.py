@@ -1,4 +1,10 @@
-"""Unit tests for the whole-network routing simulator."""
+"""Unit tests for the legacy whole-network routing simulator shim.
+
+The simulator is deprecated in favour of ``repro.api.MeshSession.route``
+(see ``tests/test_api_routing.py`` for the new path, including the
+legacy-vs-session equivalence test); these tests pin the shim's behaviour
+and therefore silence its DeprecationWarning wholesale.
+"""
 
 import pytest
 
@@ -7,6 +13,8 @@ from repro.core.mfp import build_minimum_polygons
 from repro.faults.scenario import generate_scenario
 from repro.mesh.topology import Mesh2D
 from repro.routing.simulator import RoutingSimulator, RoutingStats
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 
 class TestRoutingStats:

@@ -1,0 +1,237 @@
+"""Tests for the synthetic traffic workload registry (repro.routing.traffic).
+
+The seeding-determinism tests assert the property the parallel routing
+sweeps rely on: every registered workload generates bit-identical endpoint
+batches from the same seed, in the parent process and in worker processes.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.mesh.topology import Mesh2D, Torus2D
+from repro.routing.traffic import (
+    HotspotOptions,
+    NearestNeighbourOptions,
+    TrafficBatch,
+    TrafficContext,
+    TrafficSpec,
+    get_traffic,
+    register_traffic,
+    traffic_keys,
+)
+
+ALL_KEYS = ("uniform", "transpose", "bit-reversal", "hotspot", "nearest-neighbour", "permutation")
+
+
+def _context(width=16, height=None, disabled=(), torus=False):
+    height = width if height is None else height
+    topology = Torus2D(width, height) if torus else Mesh2D(width, height)
+    return TrafficContext.from_topology(topology, disabled)
+
+
+def _fingerprint(batch: TrafficBatch) -> bytes:
+    return np.stack([a.astype(np.int64) for a in batch.as_arrays()]).tobytes()
+
+
+def _generate_fingerprint(args) -> bytes:
+    """Worker entry point of the cross-process determinism test."""
+    key, width, disabled, count, seed = args
+    batch = get_traffic(key).generate(_context(width, disabled=disabled), count, seed=seed)
+    return _fingerprint(batch)
+
+
+class TestRegistry:
+    def test_six_workloads_registered(self):
+        assert set(ALL_KEYS) <= set(traffic_keys())
+        assert len(traffic_keys()) >= 6
+
+    def test_aliases_and_case_insensitive_lookup(self):
+        assert get_traffic("NEAREST_NEIGHBOUR") is get_traffic("nn")
+        assert get_traffic("random") is get_traffic("uniform")
+        assert get_traffic("bitrev") is get_traffic("bit-reversal")
+
+    def test_unknown_key_lists_registered(self):
+        with pytest.raises(KeyError, match="uniform"):
+            get_traffic("nope")
+
+    def test_duplicate_registration_rejected(self):
+        spec = get_traffic("uniform")
+        with pytest.raises(ValueError, match="already registered"):
+            register_traffic(
+                TrafficSpec(
+                    key="uniform",
+                    label="UR2",
+                    description="clash",
+                    generator=spec.generator,
+                )
+            )
+
+    def test_option_type_mismatch_raises(self):
+        with pytest.raises(TypeError, match="HotspotOptions"):
+            get_traffic("hotspot").generate(
+                _context(8), 5, options=NearestNeighbourOptions()
+            )
+
+    def test_option_validation(self):
+        with pytest.raises(ValueError, match="fraction"):
+            HotspotOptions(fraction=1.5)
+        with pytest.raises(ValueError, match="radius"):
+            NearestNeighbourOptions(radius=0)
+
+
+class TestSeedingDeterminism:
+    @pytest.mark.parametrize("key", ALL_KEYS)
+    def test_same_seed_same_batch(self, key):
+        disabled = {(2, 2), (2, 3), (3, 3), (9, 9)}
+        context = _context(16, disabled=disabled)
+        a = get_traffic(key).generate(context, 200, seed=42)
+        b = get_traffic(key).generate(context, 200, seed=42)
+        assert _fingerprint(a) == _fingerprint(b)
+        different = get_traffic(key).generate(context, 200, seed=43)
+        # Seeds must actually matter (not a constant batch) for the random
+        # workloads; fixed-partner ones still reshuffle their sources.
+        assert _fingerprint(different) != _fingerprint(a)
+
+    @pytest.mark.parametrize("key", ALL_KEYS)
+    def test_same_seed_across_processes(self, key):
+        """The derive_trial_seed property extended to traffic generation:
+        a worker process reproduces the parent's batch bit for bit."""
+        args = (key, 16, ((2, 2), (5, 5)), 120, 7)
+        local = _generate_fingerprint(args)
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context()
+        with context.Pool(processes=2) as pool:
+            remote = pool.map(_generate_fingerprint, [args, args])
+        assert remote == [local, local]
+
+    def test_stateful_rng_advances(self):
+        context = _context(12)
+        rng = np.random.default_rng(3)
+        first = get_traffic("uniform").generate(context, 50, rng=rng)
+        second = get_traffic("uniform").generate(context, 50, rng=rng)
+        assert _fingerprint(first) != _fingerprint(second)
+
+
+class TestEndpointValidity:
+    @pytest.mark.parametrize("key", ALL_KEYS)
+    def test_endpoints_are_enabled_and_distinct(self, key):
+        disabled = {(0, 0), (7, 7), (7, 8), (8, 7), (3, 12)}
+        context = _context(16, disabled=disabled)
+        batch = get_traffic(key).generate(context, 300, seed=5)
+        assert len(batch) == 300
+        for source, destination in batch.pairs():
+            assert source != destination
+            assert context.enabled_mask[source]
+            assert context.enabled_mask[destination]
+
+    @pytest.mark.parametrize("key", ALL_KEYS)
+    def test_tiny_mesh_returns_empty_batch(self, key):
+        # Fewer than two enabled endpoints: nothing to route.
+        context = _context(2, disabled={(0, 0), (0, 1), (1, 0)})
+        batch = get_traffic(key).generate(context, 10, seed=1)
+        assert len(batch) == 0
+        assert list(batch.pairs()) == []
+
+
+class TestPatternShapes:
+    def test_transpose_partners(self):
+        context = _context(9)
+        batch = get_traffic("transpose").generate(context, 100, seed=2)
+        for (sx, sy), (dx, dy) in batch.pairs():
+            assert (dx, dy) == (sy, sx)
+
+    def test_transpose_skips_disabled_partners(self):
+        disabled = {(4, 6)}
+        context = _context(9, disabled=disabled)
+        batch = get_traffic("transpose").generate(context, 200, seed=2)
+        assert len(batch) == 200
+        for (sx, sy), _ in batch.pairs():
+            assert (sy, sx) not in disabled
+
+    def test_bit_reversal_on_power_of_two_mesh(self):
+        def reverse(value, bits):
+            out = 0
+            for _ in range(bits):
+                out = (out << 1) | (value & 1)
+                value >>= 1
+            return out
+
+        context = _context(8)
+        batch = get_traffic("bit-reversal").generate(context, 100, seed=4)
+        for (sx, sy), (dx, dy) in batch.pairs():
+            assert (dx, dy) == (reverse(sx, 3), reverse(sy, 3))
+
+    def test_hotspot_concentrates_traffic(self):
+        context = _context(16)
+        batch = get_traffic("hotspot").generate(
+            context, 2000, seed=6, num_hotspots=2, fraction=0.9
+        )
+        destinations = list(zip(batch.dst_x.tolist(), batch.dst_y.tolist()))
+        top_two = sum(
+            count
+            for _, count in sorted(
+                ((d, destinations.count(d)) for d in set(destinations)),
+                key=lambda item: -item[1],
+            )[:2]
+        )
+        assert top_two / len(destinations) > 0.7
+
+    def test_nearest_neighbour_radius(self):
+        context = _context(12)
+        batch = get_traffic("nearest-neighbour").generate(context, 300, seed=8, radius=2)
+        for (sx, sy), (dx, dy) in batch.pairs():
+            assert 0 < abs(sx - dx) + abs(sy - dy) <= 2
+
+    def test_nearest_neighbour_wraps_on_torus(self):
+        # A torus ring of enabled border nodes: offsets wrap around.
+        context = _context(6, torus=True)
+        batch = get_traffic("nearest-neighbour").generate(context, 400, seed=8)
+        wrapped = [
+            (s, d)
+            for s, d in batch.pairs()
+            if abs(s[0] - d[0]) == 5 or abs(s[1] - d[1]) == 5
+        ]
+        assert wrapped, "expected some wrap-around neighbour pairs on the torus"
+        for (sx, sy), (dx, dy) in batch.pairs():
+            assert min(abs(sx - dx), 6 - abs(sx - dx)) + min(
+                abs(sy - dy), 6 - abs(sy - dy)
+            ) <= 1
+
+    def test_nearest_neighbour_never_crosses_regions(self):
+        # Destinations adjacent to the source are never on the other side
+        # of a fault region, so the pattern is always fully deliverable.
+        disabled = {(x, 5) for x in range(12)} - {(6, 5)}
+        context = _context(12, disabled=disabled)
+        batch = get_traffic("nearest-neighbour").generate(context, 200, seed=3)
+        for source, destination in batch.pairs():
+            assert context.enabled_mask[source] and context.enabled_mask[destination]
+
+    def test_permutation_is_functional_within_batch(self):
+        context = _context(10)
+        batch = get_traffic("permutation").generate(context, 500, seed=11)
+        mapping = {}
+        for source, destination in batch.pairs():
+            assert mapping.setdefault(source, destination) == destination
+
+    def test_uniform_matches_legacy_draw(self):
+        # The exact (count, 2) draw with same-index bump the legacy
+        # RoutingSimulator.random_pairs used -- the contract behind the
+        # legacy-vs-session equivalence.
+        context = _context(7)
+        num = context.num_enabled
+        rng = np.random.default_rng(13)
+        indices = rng.integers(0, num, size=(60, 2))
+        src, dst = indices[:, 0], indices[:, 1]
+        dst = np.where(src == dst, (dst + 1) % num, dst)
+        expected = list(
+            zip(
+                zip(context.enabled_xs[src].tolist(), context.enabled_ys[src].tolist()),
+                zip(context.enabled_xs[dst].tolist(), context.enabled_ys[dst].tolist()),
+            )
+        )
+        batch = get_traffic("uniform").generate(context, 60, seed=13)
+        assert list(batch.pairs()) == expected

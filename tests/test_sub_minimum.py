@@ -1,6 +1,5 @@
 """Unit tests for the sub-minimum faulty polygon model (FP, Wu 2001)."""
 
-import pytest
 
 from repro.core.faulty_block import build_faulty_blocks
 from repro.core.sub_minimum import (
