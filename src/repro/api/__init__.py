@@ -70,6 +70,16 @@ from repro.api.executor import (
     run_trial,
     sweep_point_reducer,
 )
+from repro.routing.engine import (
+    EngineSpec,
+    available_engines,
+    default_engine,
+    engine_keys,
+    get_engine,
+    register_engine,
+    set_default_engine,
+    use_engine,
+)
 from repro.routing.registry import (
     RouterOptions,
     RouterSpec,
@@ -125,6 +135,15 @@ __all__ = [
     "register_traffic",
     "traffic_keys",
     "available_traffic",
+    # engine registry
+    "EngineSpec",
+    "get_engine",
+    "register_engine",
+    "engine_keys",
+    "available_engines",
+    "default_engine",
+    "set_default_engine",
+    "use_engine",
     # executor
     "SweepExecutor",
     "TrialSpec",

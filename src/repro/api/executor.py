@@ -222,13 +222,17 @@ class RoutingTrialSpec:
     messages: int = 500
     traffic_options: Optional[TrafficOptions] = None
     router_options: Optional[RouterOptions] = None
+    #: Routing-engine registry key (``"scalar"`` / ``"batch"`` / ``"auto"``);
+    #: ``None`` follows the worker's ambient default (normally ``auto``).
+    engine: Optional[str] = None
     specs: Tuple[ConstructionSpec, ...] = ()
-    #: The resolved router/traffic specs, carried (like ``specs``) so that
-    #: workers spawned in a fresh interpreter can re-register custom
-    #: routers and workloads; ``None`` means "resolve from the worker's
-    #: registry".
+    #: The resolved router/traffic/engine specs, carried (like ``specs``)
+    #: so that workers spawned in a fresh interpreter can re-register
+    #: custom routers, workloads and engines; ``None`` means "resolve
+    #: from the worker's registry".
     router_spec: Optional[RouterSpec] = None
     traffic_spec: Optional[TrafficSpec] = None
+    engine_spec: Optional[Any] = None
 
 
 def run_routing_trial(spec: RoutingTrialSpec):
@@ -240,14 +244,17 @@ def run_routing_trial(spec: RoutingTrialSpec):
     """
     from repro.sim.metrics import RoutingMetrics, RoutingScenarioMetrics
 
+    from repro.routing.engine import get_engine, register_engine
+
     _restore_worker_registry(spec.specs)
     # Same re-registration dance for the routing registries: a spawned
-    # worker only knows the built-in routers/workloads.  The implementation
-    # comparison is by reference (builders/generators pickle as
-    # module-level names), so built-ins are left alone.
+    # worker only knows the built-in routers/workloads/engines.  The
+    # implementation comparison is by reference (builders/generators/
+    # runners pickle as module-level names), so built-ins are left alone.
     for carried, getter, registrar, implementation in (
         (spec.router_spec, get_router, register_router, "builder"),
         (spec.traffic_spec, get_traffic, register_traffic, "generator"),
+        (spec.engine_spec, get_engine, register_engine, "runner"),
     ):
         if carried is None:
             continue
@@ -301,6 +308,7 @@ def run_routing_trial(spec: RoutingTrialSpec):
             traffic_options=spec.traffic_options,
             router_options=spec.router_options,
             construction_options=construction_options,
+            engine=spec.engine,
         )
         metrics.add(
             RoutingMetrics.from_stats(stats, num_faults=scenario.num_faults)
@@ -466,20 +474,32 @@ class SweepExecutor:
         messages: int = 500,
         traffic_options: Optional[TrafficOptions] = None,
         router_options: Optional[RouterOptions] = None,
+        engine: Optional[str] = None,
     ) -> List[RoutingTrialSpec]:
         """Expand a routing sweep into its deterministic per-trial specs.
 
-        The router and traffic keys are validated eagerly (typos fail
-        before any work is dispatched); seeds come from the same
+        The router, traffic and engine keys are validated eagerly (typos
+        fail before any work is dispatched); seeds come from the same
         :func:`~repro.faults.scenario.derive_trial_seed` scheme as the
         construction sweeps, so a routing sweep is bit-identical whether
-        it runs serially or over any number of workers.
+        it runs serially or over any number of workers (the scalar and
+        batch engines produce identical statistics, so the engine choice
+        never affects the sweep results either).
         """
         if trials < 1:
             raise ValueError("trials must be at least 1")
         router_spec = get_router(router)
         traffic_spec = get_traffic(traffic)
         router, traffic = router_spec.key, traffic_spec.key
+        engine_spec = None
+        if engine is not None:
+            from repro._registry import SpecRegistry
+            from repro.routing.engine import get_engine
+
+            engine = SpecRegistry.normalise(engine)
+            if engine != "auto":
+                engine_spec = get_engine(engine)
+                engine = engine_spec.key
         construction_specs = tuple(get_construction(key) for key in self.models)
         specs: List[RoutingTrialSpec] = []
         for count_index, num_faults in enumerate(fault_counts):
@@ -499,9 +519,11 @@ class SweepExecutor:
                         messages=messages,
                         traffic_options=traffic_options,
                         router_options=router_options,
+                        engine=engine,
                         specs=construction_specs,
                         router_spec=router_spec,
                         traffic_spec=traffic_spec,
+                        engine_spec=engine_spec,
                     )
                 )
         return specs
@@ -522,6 +544,7 @@ class SweepExecutor:
         messages: int = 500,
         traffic_options: Optional[TrafficOptions] = None,
         router_options: Optional[RouterOptions] = None,
+        engine: Optional[str] = None,
         reducer: Optional[Reducer] = None,
     ) -> List[Any]:
         """Run a routing sweep and return one reduced record per fault count.
@@ -549,6 +572,7 @@ class SweepExecutor:
             messages=messages,
             traffic_options=traffic_options,
             router_options=router_options,
+            engine=engine,
         )
         results = self.map_routing_trials(specs)
         points: List[Any] = []

@@ -19,10 +19,27 @@ construction result cache::
     stats2 = session.route("mfp", traffic="transpose", messages=2000, seed=1)
 
 ``route`` returns a :class:`repro.routing.stats.RoutingStats` annotated
-with the construction/traffic/router labels and the enabled endpoint
-count, ready for sweep tables.  Requesting ``check_deadlock=True``
+with the construction/traffic/router/engine labels and the enabled
+endpoint count, ready for sweep tables.  Requesting ``check_deadlock=True``
 auto-enables per-route result collection, so the channel-dependency check
 can never fail mid-analysis for lack of results.
+
+**Default engine rule.**  Batches are routed by the engine registry of
+:mod:`repro.routing.engine`: with the default ``engine=None`` /
+``REPRO_ROUTE_ENGINE=auto`` selection, ``route`` picks the vectorized
+**batch** engine whenever it can serve the request -- per-route results
+not requested (``collect_results=False`` and no ``check_deadlock``) and
+the router one of the built-ins -- and the per-message **scalar** loop
+otherwise, which stays the path-collecting / deadlock-check oracle.  The
+two produce bit-identical aggregate statistics; the chosen key is
+recorded on ``stats.engine``.  An explicit ``engine=`` argument is
+strict (a batch request it cannot serve raises ``ValueError``), the
+ambient default is lenient and falls back to scalar.
+
+The session also owns a :class:`~repro.routing.engine.RegionRingCache`
+attached to every router it builds, so routers rebuilt after
+``add_faults`` reuse the boundary-ring geometry (ring walks, position
+maps, bounding boxes) of every region the update did not change.
 """
 
 from __future__ import annotations
@@ -32,6 +49,7 @@ from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 import numpy as np
 
 from repro.api.registry import ConstructionOptions
+from repro.routing.engine import RegionRingCache, resolve_engine
 from repro.routing.registry import RouterOptions, get_router
 from repro.routing.stats import RoutingStats
 from repro.routing.traffic import TrafficContext, TrafficOptions, get_traffic
@@ -59,11 +77,22 @@ class RoutingSession:
         self._contexts: Dict[Tuple, Tuple[int, TrafficContext]] = {}
         session.cache_info.setdefault("router_hits", 0)
         session.cache_info.setdefault("router_misses", 0)
+        session.cache_info.setdefault("ring_hits", 0)
+        session.cache_info.setdefault("ring_misses", 0)
+        # Session-level boundary-ring geometry, keyed by region identity
+        # (the frozen node set): survives add_faults, so rebuilt routers
+        # only recompute the rings of regions the update actually changed.
+        self._ring_cache = RegionRingCache(counters=session.cache_info)
 
     @property
     def session(self) -> "MeshSession":
         """The mesh session this facade routes on."""
         return self._session
+
+    @property
+    def ring_cache(self) -> RegionRingCache:
+        """The session's shared per-region boundary-ring geometry cache."""
+        return self._ring_cache
 
     # -- cached builds ---------------------------------------------------------------
 
@@ -95,6 +124,9 @@ class RoutingSession:
         else:
             self._session.cache_info["router_misses"] += 1
             router_obj = spec.build(result, options=router_options)
+            attach = getattr(router_obj, "attach_ring_cache", None)
+            if attach is not None:
+                attach(self._ring_cache)
             self._routers[key] = (version, router_obj)
         cached_context = self._contexts.get(key)
         if cached_context is not None and cached_context[0] == version:
@@ -151,6 +183,7 @@ class RoutingSession:
         construction_options: Optional[ConstructionOptions] = None,
         collect_results: bool = False,
         check_deadlock: bool = False,
+        engine: Optional[str] = None,
         **traffic_overrides: Any,
     ) -> RoutingStats:
         """Route one generated message batch and return the statistics.
@@ -161,9 +194,19 @@ class RoutingSession:
         deterministic in *seed*: the same seed on the same fault set
         yields a bit-identical batch (and therefore identical stats).
 
+        *engine* names the routing engine (engine registry key); the
+        default follows :func:`repro.routing.engine.default_engine`:
+        ``auto`` selects the vectorized batch kernel whenever per-route
+        results are not requested and the router is a built-in, and the
+        scalar per-message loop otherwise.  Both engines produce
+        bit-identical statistics; the key actually used is recorded on
+        ``stats.engine``.  An explicit *engine* is strict and raises
+        ``ValueError`` when it cannot serve the request.
+
         *check_deadlock* runs the channel-dependency-cycle analysis on the
         delivered routes; per-route result collection is enabled
-        automatically for the check, so it cannot raise
+        automatically for the check (which also forces the scalar
+        engine), so it cannot raise
         :class:`~repro.routing.stats.MissingRouteResultsError`.  Read the
         verdict via ``stats.deadlock_free()``.
         """
@@ -178,15 +221,17 @@ class RoutingSession:
             options=traffic_options,
             **traffic_overrides,
         )
+        collect = collect_results or check_deadlock
+        engine_spec = resolve_engine(router_obj, engine, collect)
         stats = RoutingStats(
-            collect_results=collect_results or check_deadlock,
+            collect_results=collect,
             enabled=context.num_enabled,
             model=result.label,
             traffic=traffic_spec.key,
             router=router_spec.key,
+            engine=engine_spec.key,
         )
-        for source, destination in batch.pairs():
-            stats.record(router_obj.route(source, destination))
+        engine_spec.runner(router_obj, batch, stats)
         if check_deadlock:
             stats.deadlock_free()
         return stats

@@ -20,7 +20,10 @@ command resolves its fault-region models through the construction registry
     Route one synthetic traffic workload (``--traffic``, any key of the
     traffic registry) through a router (``--router``) over the regions of
     each fault model built from the same fault pattern, and print
-    delivery/detour statistics.
+    delivery/detour statistics.  ``--engine`` picks the routing engine
+    (``auto`` / ``scalar`` / ``batch``; the engines are bit-identical, so
+    the choice only affects wall-clock time) -- available on ``sweep
+    --routing`` too.
 
 ``repro-mesh verify``
     Run the construction verification suite on a generated fault pattern.
@@ -39,7 +42,13 @@ import argparse
 import sys
 from typing import Dict, Optional, Sequence
 
-from repro.api import ConstructionResult, MeshSession, router_keys, traffic_keys
+from repro.api import (
+    ConstructionResult,
+    MeshSession,
+    engine_keys,
+    router_keys,
+    traffic_keys,
+)
 from repro.core.verify import (
     compare_constructions_report,
     verify_faulty_blocks,
@@ -97,6 +106,13 @@ def _add_routing_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--messages", type=int, default=500, help="messages per routed batch"
     )
+    parser.add_argument(
+        "--engine",
+        choices=("auto",) + engine_keys(),
+        default="auto",
+        help="routing engine (engine registry key; auto picks the batch "
+        "kernel when it can serve the request)",
+    )
 
 
 def _session_from(args: argparse.Namespace):
@@ -151,6 +167,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             messages=args.messages,
             torus=args.torus,
             workers=args.workers,
+            engine=args.engine,
         )
         figures = [
             routing_series(
@@ -193,7 +210,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 def cmd_route(args: argparse.Namespace) -> int:
     scenario, session = _session_from(args)
     print(f"scenario: {scenario.describe()}")
-    print(f"traffic: {args.traffic}, router: {args.router}, messages: {args.messages}")
+    print(
+        f"traffic: {args.traffic}, router: {args.router}, "
+        f"messages: {args.messages}, engine: {args.engine}"
+    )
     print(
         f"{'model':>5} {'enabled':>8} {'delivery':>9} {'mean hops':>10} "
         f"{'detour':>7} {'abnormal':>9}"
@@ -205,6 +225,7 @@ def cmd_route(args: argparse.Namespace) -> int:
             traffic=args.traffic,
             messages=args.messages,
             seed=args.seed,
+            engine=args.engine,
         )
         print(
             f"{stats.model:>5} {stats.enabled:>8} {stats.delivery_rate:>9.3f} "

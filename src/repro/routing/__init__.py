@@ -16,6 +16,11 @@ models (FB / FP / MFP) on routing can be measured:
 * :mod:`repro.routing.traffic` -- the declarative synthetic traffic
   workloads (uniform, transpose, bit reversal, hotspot, nearest neighbour,
   permutation) generated as vectorized endpoint index arrays;
+* :mod:`repro.routing.engine` -- the routing-engine registry
+  (``get_engine("scalar" | "batch")``): the vectorized lockstep batch
+  kernel (straight-run jump tables + precomputed ring arrays) next to the
+  per-message scalar loop, bit-identical and switchable via
+  ``REPRO_ROUTE_ENGINE`` / :func:`~repro.routing.engine.use_engine`;
 * :mod:`repro.routing.channels` -- the four-virtual-channel assignment and a
   channel-dependency-cycle check (deadlock-freedom evidence);
 * :mod:`repro.routing.stats` -- the aggregate :class:`RoutingStats` record
@@ -29,6 +34,21 @@ and invalidates them on fault updates.
 """
 
 from repro.routing.ecube import ecube_path, ecube_next_hop, initial_message_type
+from repro.routing.engine import (
+    BatchRouteOutcome,
+    EngineSpec,
+    JumpTables,
+    RegionGeometry,
+    RegionRingCache,
+    available_engines,
+    default_engine,
+    engine_keys,
+    get_engine,
+    register_engine,
+    route_batch,
+    set_default_engine,
+    use_engine,
+)
 from repro.routing.extended_ecube import ExtendedECubeRouter, RouteResult
 from repro.routing.channels import (
     VirtualChannelAssignment,
@@ -99,6 +119,20 @@ __all__ = [
     "register_traffic",
     "traffic_keys",
     "available_traffic",
+    # engine registry
+    "EngineSpec",
+    "BatchRouteOutcome",
+    "JumpTables",
+    "RegionGeometry",
+    "RegionRingCache",
+    "get_engine",
+    "register_engine",
+    "engine_keys",
+    "available_engines",
+    "route_batch",
+    "default_engine",
+    "set_default_engine",
+    "use_engine",
     # stats + legacy simulator
     "RoutingStats",
     "MissingRouteResultsError",

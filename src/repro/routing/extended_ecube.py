@@ -31,8 +31,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 import numpy as np
 
 from repro.core.regions import FaultRegion
-from repro.geometry.boundary import boundary_ring
-from repro.geometry.rectangle import Rectangle, bounding_rectangle
+from repro.geometry.rectangle import Rectangle
 from repro.mesh.topology import Topology
 from repro.routing.ecube import (
     column_message_type,
@@ -79,9 +78,19 @@ class ExtendedECubeRouter:
     a router is O(total region size) in vectorized assignments instead of a
     Python dict insert per node.  Constructions built by the mask kernel
     already carry the index grid (``region_index`` on the construction
-    result); passing it here skips even the vectorized build.  Boundary
-    rings (and their position maps) are computed lazily per region, only
-    when a message actually enters abnormal mode around that region.
+    result); passing it here skips even the vectorized build.
+
+    Per-region boundary-ring geometry (the ring walk, its first-occurrence
+    position map and the bounding box) lives in
+    :class:`repro.routing.engine.RegionGeometry` objects, resolved lazily
+    only when a message actually enters abnormal mode around that region --
+    and shared across router rebuilds when a session attaches its
+    :class:`~repro.routing.engine.RegionRingCache`
+    (:meth:`attach_ring_cache`), so ``add_faults`` only recomputes the
+    rings of regions the update actually changed.  Normal-mode routing
+    advances whole straight runs at a time using the
+    :class:`~repro.routing.engine.JumpTables` built lazily from the
+    disabled mask, instead of re-deriving the next hop one cell at a time.
     """
 
     def __init__(
@@ -122,9 +131,14 @@ class ExtendedECubeRouter:
                     self._extra_disabled[(int(x), int(y))] = index
         self._disabled_mask = self._region_index >= 0
         self._disabled_set: Optional[Set[Coord]] = None
-        self._rings: Dict[int, List[Coord]] = {}
-        self._ring_positions: Dict[int, Dict[Coord, int]] = {}
-        self._boxes: Dict[int, Rectangle] = {}
+        # Per-region ring geometry, resolved lazily (and through the shared
+        # session cache when one is attached); the validity arrays depend on
+        # the full disabled mask, so they are cached per router.
+        self._geometry: Dict[int, object] = {}
+        self._ring_valid: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._shared_rings = None
+        self._tables = None
+        self._packed_rings = None
         self.max_hops = max_hops if max_hops is not None else 8 * (
             topology.width + topology.height
         )
@@ -187,28 +201,79 @@ class ExtendedECubeRouter:
             return int(self._region_index[x, y])
         return self._extra_disabled.get(node, -1)
 
+    @property
+    def region_index(self) -> np.ndarray:
+        """The whole-grid cell-to-region index array (read-only view)."""
+        return self._region_index
+
+    def attach_ring_cache(self, cache) -> None:
+        """Resolve ring geometry through a shared :class:`RegionRingCache`.
+
+        Called by :class:`repro.api.RoutingSession` right after building a
+        router: the cache is keyed by region identity (the frozen node
+        set), so a router rebuilt after ``add_faults`` reuses the rings,
+        position maps and bounding boxes of every unchanged region.
+        """
+        self._shared_rings = cache
+
+    def jump_tables(self):
+        """The straight-run jump tables of this router's disabled mask.
+
+        Built lazily on the first route (one accumulate scan per
+        direction) and shared by the scalar straight-run advance and the
+        batch engine of :mod:`repro.routing.engine`.
+        """
+        if self._tables is None:
+            from repro.routing.engine import JumpTables
+
+            self._tables = JumpTables.from_disabled(self._disabled_mask)
+        return self._tables
+
+    def region_geometry(self, region_index: int):
+        """Boundary-ring geometry of one region (lazily resolved, cached).
+
+        Goes through the attached session ring cache when there is one,
+        so unchanged regions keep their geometry across router rebuilds.
+        """
+        geometry = self._geometry.get(region_index)
+        if geometry is None:
+            if self._shared_rings is not None:
+                geometry = self._shared_rings.geometry(self._regions[region_index])
+            else:
+                from repro.routing.engine import RegionGeometry
+
+                geometry = RegionGeometry(self._regions[region_index])
+            self._geometry[region_index] = geometry
+        return geometry
+
+    def ring_validity(self, region_index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(valid, off_mesh)`` arrays over one region's ring nodes.
+
+        ``valid`` marks ring nodes a traversal may step on (inside the
+        mesh and outside every region); ``off_mesh`` distinguishes the
+        "left the mesh" failure from the "obstructed" one.  Depends on
+        the whole disabled mask, so it is cached per router, not in the
+        shared region geometry.
+        """
+        cached = self._ring_valid.get(region_index)
+        if cached is None:
+            arrays = self.region_geometry(region_index).arrays(*self._shape)
+            clip_x = np.clip(arrays.ring_x, 0, self._shape[0] - 1)
+            clip_y = np.clip(arrays.ring_y, 0, self._shape[1] - 1)
+            valid = arrays.on_mesh & ~self._disabled_mask[clip_x, clip_y]
+            cached = (valid, ~arrays.on_mesh)
+            self._ring_valid[region_index] = cached
+        return cached
+
     def _ring(self, region_index: int) -> List[Coord]:
-        if region_index not in self._rings:
-            self._rings[region_index] = boundary_ring(self._regions[region_index])
-        return self._rings[region_index]
+        return self.region_geometry(region_index).ring
 
     def _ring_position(self, region_index: int, node: Coord) -> Optional[int]:
-        """First position of *node* on the region's ring (``None`` if absent).
-
-        The position map is built once per ring on first use -- repeated
-        abnormal-mode entries then cost O(1) instead of a linear scan.
-        """
-        if region_index not in self._ring_positions:
-            positions: Dict[Coord, int] = {}
-            for position, member in enumerate(self._ring(region_index)):
-                positions.setdefault(member, position)
-            self._ring_positions[region_index] = positions
-        return self._ring_positions[region_index].get(node)
+        """First position of *node* on the region's ring (``None`` if absent)."""
+        return self.region_geometry(region_index).positions.get(node)
 
     def _box(self, region_index: int) -> Rectangle:
-        if region_index not in self._boxes:
-            self._boxes[region_index] = bounding_rectangle(self._regions[region_index])
-        return self._boxes[region_index]
+        return self.region_geometry(region_index).box
 
     @staticmethod
     def _orientation(message_type: MessageType, current: Coord, destination: Coord) -> Orientation:
@@ -281,45 +346,76 @@ class ExtendedECubeRouter:
 
     # -- routing ------------------------------------------------------------------
 
-    def route(self, source: Coord, destination: Coord) -> RouteResult:
-        """Route one message and return the full hop-by-hop result."""
+    def _walk(
+        self, source: Coord, destination: Coord, path: Optional[List[Coord]]
+    ) -> Tuple[bool, int, int, str]:
+        """The one routing loop behind :meth:`route` and :meth:`route_counts`.
+
+        Appends every hop to *path* when one is given; with ``path=None``
+        only the counters are tracked, which skips the per-hop list work
+        that dominates long budget-bounded walks.  Returns ``(delivered,
+        hops, abnormal_hops, reason)``.
+        """
         self.topology.validate(source)
         self.topology.validate(destination)
         if self.is_disabled(source):
-            return RouteResult(source, destination, False, (source,), 0, "source disabled")
+            return False, 0, 0, "source disabled"
         if self.is_disabled(destination):
-            return RouteResult(
-                source, destination, False, (source,), 0, "destination disabled"
-            )
+            return False, 0, 0, "destination disabled"
 
-        path: List[Coord] = [source]
+        tables = self.jump_tables()
         current = source
+        hops = 0
         abnormal_hops = 0
+        dx, dy = destination
 
-        while current != destination and len(path) <= self.max_hops:
-            message_type = (
-                initial_message_type(current, destination)
-                if current[0] != destination[0]
-                else column_message_type(current, destination)
-            )
-            nxt = ecube_next_hop(current, destination)
-            assert nxt is not None
-            if not self.is_disabled(nxt):
-                path.append(nxt)
-                current = nxt
+        while current != destination and hops < self.max_hops:
+            x, y = current
+            # Normal mode: advance a whole straight run at once.  The jump
+            # tables bound the run by the next blocked cell; the e-cube
+            # turn point and the remaining hop budget bound it further.
+            # The message type only matters when a region blocks the run,
+            # so it is not recomputed at every hop.
+            if x != dx:
+                if dx > x:
+                    sign, free = 1, int(tables.east[x, y]) - x - 1
+                else:
+                    sign, free = -1, x - int(tables.west[x, y]) - 1
+                distance = abs(dx - x)
+            else:
+                if dy > y:
+                    sign, free = 1, int(tables.north[x, y]) - y - 1
+                else:
+                    sign, free = -1, y - int(tables.south[x, y]) - 1
+                distance = abs(dy - y)
+            if free:
+                run = min(distance, free, self.max_hops - hops)
+                if x != dx:
+                    if path is not None:
+                        path.extend((x + sign * i, y) for i in range(1, run + 1))
+                    current = (x + sign * run, y)
+                else:
+                    if path is not None:
+                        path.extend((x, y + sign * i) for i in range(1, run + 1))
+                    current = (x, y + sign * run)
+                hops += run
                 continue
 
             # Abnormal mode: traverse the ring of the blocking region.
+            nxt = (x + sign, y) if x != dx else (x, y + sign)
+            message_type = (
+                initial_message_type(current, destination)
+                if x != dx
+                else column_message_type(current, destination)
+            )
             region_index = self.region_of(nxt)
             box = self._box(region_index)
             ring = self._ring(region_index)
             entry_index = self._ring_position(region_index, current)
             if entry_index is None:
-                return RouteResult(
-                    source,
-                    destination,
+                return (
                     False,
-                    tuple(path),
+                    hops,
                     abnormal_hops,
                     "traversal entry point not on the region boundary",
                 )
@@ -337,17 +433,39 @@ class ExtendedECubeRouter:
                 if detour is not None:
                     break
             if detour is None:
-                return RouteResult(
-                    source, destination, False, tuple(path), abnormal_hops, reason
-                )
-            path.extend(detour)
+                return False, hops, abnormal_hops, reason
+            if path is not None:
+                path.extend(detour)
+            hops += len(detour)
             abnormal_hops += len(detour)
-            current = path[-1]
-            if len(path) > self.max_hops:
+            current = detour[-1]
+            if hops >= self.max_hops:
                 break
 
         if current == destination:
-            return RouteResult(source, destination, True, tuple(path), abnormal_hops)
+            return True, hops, abnormal_hops, ""
+        return False, hops, abnormal_hops, "hop budget exhausted"
+
+    def route(self, source: Coord, destination: Coord) -> RouteResult:
+        """Route one message and return the full hop-by-hop result."""
+        path: List[Coord] = [source]
+        delivered, _, abnormal_hops, reason = self._walk(source, destination, path)
         return RouteResult(
-            source, destination, False, tuple(path), abnormal_hops, "hop budget exhausted"
+            source, destination, delivered, tuple(path), abnormal_hops, reason
         )
+
+    def route_counts(
+        self, source: Coord, destination: Coord
+    ) -> Tuple[bool, int, int, str]:
+        """Route one message, returning counters only (no path).
+
+        Same loop as :meth:`route` (shared :meth:`_walk`), so the
+        delivered flag, hop count, abnormal-hop count and failure reason
+        are bit-identical by construction -- it merely skips
+        materialising the hop-by-hop path, which dominates the cost of
+        long budget-bounded walks.  The batch engine of
+        :mod:`repro.routing.engine` finishes straggler messages through
+        this entry point.  Returns ``(delivered, hops, abnormal_hops,
+        reason)``.
+        """
+        return self._walk(source, destination, None)

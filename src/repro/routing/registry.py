@@ -123,6 +123,16 @@ class ECubeRouter(ExtendedECubeRouter):
             current = nxt
         return RouteResult(source, destination, True, tuple(path), 0)
 
+    def route_counts(self, source, destination):
+        """Counters-only routing (see the extended router's method).
+
+        Base e-cube paths are at most ``width + height`` hops, so simply
+        delegating to :meth:`route` keeps the two entry points trivially
+        identical (the inherited counters loop would wrongly detour).
+        """
+        result = self.route(source, destination)
+        return result.delivered, result.hops, result.abnormal_hops, result.reason
+
 
 # -- the spec -----------------------------------------------------------------------
 

@@ -69,6 +69,11 @@ class RoutingStats:
     model: str = ""
     traffic: str = ""
     router: str = ""
+    #: Engine registry key that produced the record (``"scalar"`` /
+    #: ``"batch"``; empty for ad-hoc accumulation).  The batch engine is
+    #: asserted bit-identical to the scalar loop on every aggregate field,
+    #: so the label is provenance, not a caveat.
+    engine: str = ""
     #: Cached deadlock-freedom verdict (filled by :meth:`deadlock_free`).
     _deadlock_free: Optional[bool] = field(default=None, repr=False)
 

@@ -106,6 +106,7 @@ def run_routing_sweep(
     cluster_factor: float = 2.0,
     torus: bool = False,
     workers: int = 1,
+    engine=None,
     reducer=None,
 ) -> List[RoutingSweepPoint]:
     """Route synthetic traffic over a fault-count sweep.
@@ -117,7 +118,10 @@ def run_routing_sweep(
     registry key) over each -- the paired comparison of the routing
     ablation, generalised to the whole synthetic workload suite.  Like
     :func:`run_sweep`, trials fan out over ``workers`` processes with
-    deterministic per-trial seeds.
+    deterministic per-trial seeds.  *engine* picks the routing engine
+    (``"scalar"`` / ``"batch"`` / ``"auto"``; ``None`` follows the
+    ambient default) -- the engines are bit-identical, so the choice only
+    affects the sweep's wall-clock time.
     """
     executor = SweepExecutor(models=models, workers=workers)
     return executor.run_routing(
@@ -131,5 +135,6 @@ def run_routing_sweep(
         router=router,
         traffic=traffic,
         messages=messages,
+        engine=engine,
         reducer=reducer,
     )
