@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Latency-throughput evaluation with the contention network simulator.
+
+The paper's statistics (disabled nodes, region sizes, construction rounds)
+and the routing ablations are all contention-free: every message is routed
+alone.  ``repro.netsim`` adds the missing axis -- open-loop injection at a
+configurable offered load, per-virtual-channel contention following the
+vc0-vc3 discipline of ``repro.routing.channels``, and per-message latency.
+
+Part 1 sweeps the offered load on a 16x16 mesh, fault-free vs clustered
+faults, producing the classic latency-vs-load curve: flat hop-latency
+floor, queueing rise, and the throughput knee past which the network
+saturates (with faults, the cyclic channel dependencies around the
+regions can even deadlock the dense population -- reported as a verdict,
+exactly what the static ``check_deadlock`` analysis cannot see).
+
+Part 2 compares arrival processes (Poisson vs bursty on/off) at one load:
+burstiness raises queueing at identical long-run rates.
+
+Part 3 shows the differential oracle: the vectorised array simulator and
+the scalar reference produce bit-identical delivery times.
+
+Run with::
+
+    python examples/latency_throughput.py
+"""
+
+from __future__ import annotations
+
+from repro import generate_scenario
+from repro.api import MeshSession
+
+
+def latency_vs_load() -> None:
+    print("Latency vs offered load (16x16, MFP regions, Poisson arrivals)")
+    print("=" * 66)
+    fault_free = MeshSession(width=16)
+    clustered = MeshSession.from_scenario(
+        generate_scenario(num_faults=10, width=16, model="clustered", seed=1)
+    )
+    loads = (0.01, 0.02, 0.04, 0.08, 0.16)
+    print(f"{'load':>6} | {'fault-free':>24} | {'10 clustered faults':>24}")
+    for load in loads:
+        cells = []
+        for session in (fault_free, clustered):
+            stats = session.simulate("mfp", load=load, cycles=256, seed=7)
+            state = (
+                "deadlock" if stats.deadlocked
+                else "saturated" if stats.saturated else "stable"
+            )
+            cells.append(f"{stats.mean_latency:8.2f} cyc [{state:>9}]")
+        print(f"{load:>6.2f} | {cells[0]:>24} | {cells[1]:>24}")
+    print()
+    print(
+        "The fault-free curve rises smoothly to saturation; around fault\n"
+        "regions the dense high-load population can deadlock (the vc0-vc3\n"
+        "discipline's dependency graph is cyclic there) -- the simulator\n"
+        "reports it as a verdict instead of spinning."
+    )
+    print()
+
+
+def arrival_processes() -> None:
+    print("Poisson vs bursty arrivals at the same long-run rate")
+    print("=" * 66)
+    from repro.api import BurstyArrivalOptions
+
+    session = MeshSession(width=16)
+    for arrival, options in (
+        ("poisson", None),
+        ("bursty", BurstyArrivalOptions(burst=16)),
+    ):
+        stats = session.simulate(
+            "mfp", arrival=arrival, load=0.001, cycles=4000, seed=7,
+            arrival_options=options,
+        )
+        print(
+            f"{arrival:>8}: latency {stats.mean_latency:6.2f} "
+            f"(queueing {stats.mean_queueing:5.2f}), "
+            f"accepted {stats.accepted_load:.4f}"
+        )
+    print()
+    print(
+        "Identical rate and delivered throughput, but the 16-message\n"
+        "bursts collide with each other and queue where the memoryless\n"
+        "Poisson stream glides through."
+    )
+    print()
+
+
+def differential_oracle() -> None:
+    print("Array simulator vs scalar oracle (bit-identity)")
+    print("=" * 66)
+    session = MeshSession.from_scenario(
+        generate_scenario(num_faults=10, width=16, model="clustered", seed=1)
+    )
+    array = session.simulate("mfp", load=0.05, cycles=128, seed=3, sim="array")
+    scalar = session.simulate("mfp", load=0.05, cycles=128, seed=3, sim="scalar")
+    print(f"array  fingerprint: {array.delivery_fingerprint}")
+    print(f"scalar fingerprint: {scalar.delivery_fingerprint}")
+    print(f"identical: {array.delivery_fingerprint == scalar.delivery_fingerprint}")
+
+
+def main() -> None:
+    latency_vs_load()
+    arrival_processes()
+    differential_oracle()
+
+
+if __name__ == "__main__":
+    main()

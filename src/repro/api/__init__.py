@@ -18,10 +18,16 @@ exported from its top level:
   through the traffic registry (``get_traffic("uniform" | "transpose" |
   "bit-reversal" | "hotspot" | "nearest-neighbour" | "permutation")``),
   routers cached per construction and invalidated on fault updates.
-* :mod:`repro.api.executor` -- :class:`SweepExecutor`, which fans both
-  construction sweeps (``run``) and routing sweeps (``run_routing``) out
-  over ``multiprocessing`` with deterministic per-trial seeds and
-  pluggable reducers.
+* :mod:`repro.api.executor` -- :class:`SweepExecutor`, which fans
+  construction sweeps (``run``), routing sweeps (``run_routing``) and
+  latency-vs-load sweeps (``run_latency``) out over ``multiprocessing``
+  with deterministic per-trial seeds and pluggable reducers.
+
+On top of the routing facade sits the network simulator of
+:mod:`repro.netsim` (:class:`NetSimSession`, reachable as
+``session.simulate(...)``): open-loop injection, per-virtual-channel
+contention, latency / saturation verdicts, with the ``array`` / ``scalar``
+simulator registry switched by ``REPRO_NETSIM``.
 
 Quickstart::
 
@@ -60,15 +66,31 @@ from repro.api.session import MeshSession
 from repro.api.routing import RoutingSession
 from repro.api.executor import (
     DEFAULT_MODELS,
+    DEFAULT_NETSIM_MODELS,
     DEFAULT_ROUTING_MODELS,
+    NetSimTrialSpec,
     RoutingTrialSpec,
     SweepExecutor,
     TrialSpec,
     collect_scenario_metrics,
+    latency_point_reducer,
     routing_point_reducer,
+    run_netsim_trial,
     run_routing_trial,
     run_trial,
     sweep_point_reducer,
+)
+from repro.netsim import (
+    NetSimSession,
+    NetSimStats,
+    SimulatorSpec,
+    available_simulators,
+    default_simulator,
+    get_simulator,
+    register_simulator,
+    set_default_simulator,
+    simulator_keys,
+    use_simulator,
 )
 from repro.routing.engine import (
     EngineSpec,
@@ -90,6 +112,9 @@ from repro.routing.registry import (
 )
 from repro.routing.stats import MissingRouteResultsError, RoutingStats
 from repro.routing.traffic import (
+    ArrivalOptions,
+    BurstyArrivalOptions,
+    PoissonArrivalOptions,
     TrafficBatch,
     TrafficContext,
     TrafficOptions,
@@ -131,6 +156,9 @@ __all__ = [
     "TrafficBatch",
     "TrafficContext",
     "TrafficOptions",
+    "ArrivalOptions",
+    "PoissonArrivalOptions",
+    "BurstyArrivalOptions",
     "get_traffic",
     "register_traffic",
     "traffic_keys",
@@ -144,15 +172,30 @@ __all__ = [
     "default_engine",
     "set_default_engine",
     "use_engine",
+    # network simulator facade + registry
+    "NetSimSession",
+    "NetSimStats",
+    "SimulatorSpec",
+    "get_simulator",
+    "register_simulator",
+    "simulator_keys",
+    "available_simulators",
+    "default_simulator",
+    "set_default_simulator",
+    "use_simulator",
     # executor
     "SweepExecutor",
     "TrialSpec",
     "RoutingTrialSpec",
+    "NetSimTrialSpec",
     "DEFAULT_MODELS",
     "DEFAULT_ROUTING_MODELS",
+    "DEFAULT_NETSIM_MODELS",
     "collect_scenario_metrics",
     "run_trial",
     "run_routing_trial",
+    "run_netsim_trial",
     "sweep_point_reducer",
     "routing_point_reducer",
+    "latency_point_reducer",
 ]

@@ -326,6 +326,139 @@ def routing_point_reducer(num_faults: int, distribution: str, trials: List[Any])
     return point
 
 
+# -- latency-vs-load sweeps (network simulation) ------------------------------------
+
+#: Construction keys latency sweeps compare by default (MFP only: the
+#: latency axis is about contention, and the other models mostly shift the
+#: enabled-node count; pass more keys for a paired model comparison).
+DEFAULT_NETSIM_MODELS: Tuple[str, ...] = ("mfp",)
+
+
+@dataclass(frozen=True)
+class NetSimTrialSpec:
+    """Everything one worker needs to run one contention trial (picklable).
+
+    The x axis of a latency sweep is the offered ``load`` (messages per
+    node per cycle); the fault scenario is part of the configuration and
+    stays fixed across the sweep.  The trial seed drives the fault
+    pattern, the endpoint draws and the injection times, so a spec fully
+    determines its metrics on any worker.
+    """
+
+    load: float
+    seed: int
+    num_faults: int = 0
+    width: int = 16
+    height: Optional[int] = None
+    distribution: str = "clustered"
+    torus: bool = False
+    cluster_factor: float = 2.0
+    models: Tuple[str, ...] = DEFAULT_NETSIM_MODELS
+    router: str = "extended-ecube"
+    traffic: str = "uniform"
+    arrival: str = "poisson"
+    cycles: int = 256
+    drain_factor: int = 8
+    messages: Optional[int] = None
+    traffic_options: Optional[TrafficOptions] = None
+    arrival_options: Optional[TrafficOptions] = None
+    router_options: Optional[RouterOptions] = None
+    #: Simulator registry key (``"array"`` / ``"scalar"`` / ``"auto"``);
+    #: ``None`` follows the worker's ambient default (``REPRO_NETSIM``).
+    sim: Optional[str] = None
+    specs: Tuple[ConstructionSpec, ...] = ()
+    router_spec: Optional[RouterSpec] = None
+    traffic_spec: Optional[TrafficSpec] = None
+    arrival_spec: Optional[TrafficSpec] = None
+    sim_spec: Optional[Any] = None
+
+
+def run_netsim_trial(spec: NetSimTrialSpec):
+    """Simulate one load point over every model (worker entry point).
+
+    All models inside a trial share the fault pattern and the traffic /
+    injection seed (paired comparison).
+    """
+    from repro.netsim.registry import get_simulator, register_simulator
+    from repro.sim.metrics import NetSimMetrics, NetSimScenarioMetrics
+
+    _restore_worker_registry(spec.specs)
+    for carried, getter, registrar, implementation in (
+        (spec.router_spec, get_router, register_router, "builder"),
+        (spec.traffic_spec, get_traffic, register_traffic, "generator"),
+        (spec.arrival_spec, get_traffic, register_traffic, "generator"),
+        (spec.sim_spec, get_simulator, register_simulator, "runner"),
+    ):
+        if carried is None:
+            continue
+        try:
+            registered = getter(carried.key)
+        except KeyError:
+            registrar(carried)
+        else:
+            if getattr(registered, implementation) is not getattr(carried, implementation):
+                registrar(carried, replace=True)
+    from repro.api.session import MeshSession
+
+    scenario = generate_scenario(
+        num_faults=spec.num_faults,
+        width=spec.width,
+        height=spec.height,
+        model=spec.distribution,
+        seed=spec.seed,
+        torus=spec.torus,
+        cluster_factor=spec.cluster_factor,
+    )
+    session = MeshSession.from_scenario(scenario)
+    metrics = NetSimScenarioMetrics(
+        load=spec.load,
+        num_faults=scenario.num_faults,
+        distribution=scenario.model,
+        seed=scenario.seed,
+        traffic=get_traffic(spec.traffic).key,
+        arrival=get_traffic(spec.arrival).key,
+        router=get_router(spec.router).key,
+    )
+    for key in spec.models:
+        construction_spec = get_construction(key)
+        construction_options = None
+        if any(
+            f.name == "compute_rounds"
+            for f in dataclasses.fields(construction_spec.options_type)
+        ):
+            construction_options = construction_spec.make_options(
+                None, {"compute_rounds": False}
+            )
+        stats = session.simulate(
+            key,
+            traffic=spec.traffic,
+            arrival=spec.arrival,
+            load=spec.load,
+            cycles=spec.cycles,
+            messages=spec.messages,
+            seed=spec.seed,
+            router=spec.router,
+            sim=spec.sim,
+            drain_factor=spec.drain_factor,
+            traffic_options=spec.traffic_options,
+            arrival_options=spec.arrival_options,
+            router_options=spec.router_options,
+            construction_options=construction_options,
+        )
+        metrics.add(NetSimMetrics.from_stats(stats, num_faults=scenario.num_faults))
+    return metrics
+
+
+def latency_point_reducer(load: float, distribution: str, trials: List[Any]):
+    """Default latency reducer: fold trials into a ``LatencySweepPoint``."""
+    from repro.sim.metrics import LatencySweepPoint
+
+    point = LatencySweepPoint(load=load, distribution=distribution)
+    for metrics in trials:
+        point.add(metrics)
+    return point
+
+
 class SweepExecutor:
     """Run construction sweeps, optionally fanned out over processes.
 
@@ -416,6 +549,10 @@ class SweepExecutor:
     def map_routing_trials(self, specs: Sequence[RoutingTrialSpec]) -> List[Any]:
         """Run the routing trial specs, serially or over a process pool."""
         return self._map(run_routing_trial, specs)
+
+    def map_netsim_trials(self, specs: Sequence[NetSimTrialSpec]) -> List[Any]:
+        """Run the contention trial specs, serially or over a process pool."""
+        return self._map(run_netsim_trial, specs)
 
     def run(
         self,
@@ -579,4 +716,151 @@ class SweepExecutor:
         for count_index, num_faults in enumerate(fault_counts):
             chunk = results[count_index * trials : (count_index + 1) * trials]
             points.append(point_reducer(num_faults, distribution, chunk))
+        return points
+
+    # -- latency-vs-load sweeps ------------------------------------------------------
+
+    def plan_latency(
+        self,
+        loads: Sequence[float],
+        trials: int,
+        *,
+        num_faults: int = 0,
+        width: int = 16,
+        height: Optional[int] = None,
+        distribution: str = "clustered",
+        base_seed: int = 0,
+        torus: bool = False,
+        cluster_factor: float = 2.0,
+        router: str = "extended-ecube",
+        traffic: str = "uniform",
+        arrival: str = "poisson",
+        cycles: int = 256,
+        drain_factor: int = 8,
+        messages: Optional[int] = None,
+        traffic_options: Optional[TrafficOptions] = None,
+        arrival_options: Optional[TrafficOptions] = None,
+        router_options: Optional[RouterOptions] = None,
+        sim: Optional[str] = None,
+    ) -> List[NetSimTrialSpec]:
+        """Expand a latency-vs-load sweep into its deterministic trial specs.
+
+        The x axis is the offered *loads* (messages per node per cycle);
+        the fault configuration is fixed across the sweep.  Registry keys
+        are validated eagerly and the resolved specs carried for spawned
+        workers, mirroring :meth:`plan_routing`; seeds come from the same
+        :func:`~repro.faults.scenario.derive_trial_seed` scheme (indexed
+        by load position), so the sweep is bit-identical at any worker
+        count -- and under either simulator.
+        """
+        if trials < 1:
+            raise ValueError("trials must be at least 1")
+        from repro.netsim.registry import get_simulator
+
+        router_spec = get_router(router)
+        traffic_spec = get_traffic(traffic)
+        arrival_spec = get_traffic(arrival)
+        sim_spec = None
+        if sim is not None:
+            from repro._registry import SpecRegistry
+
+            sim = SpecRegistry.normalise(sim)
+            if sim != "auto":
+                sim_spec = get_simulator(sim)
+                sim = sim_spec.key
+        construction_specs = tuple(get_construction(key) for key in self.models)
+        specs: List[NetSimTrialSpec] = []
+        for load_index, load in enumerate(loads):
+            for trial in range(trials):
+                specs.append(
+                    NetSimTrialSpec(
+                        load=float(load),
+                        seed=derive_trial_seed(base_seed, load_index, trials, trial),
+                        num_faults=num_faults,
+                        width=width,
+                        height=height,
+                        distribution=distribution,
+                        torus=torus,
+                        cluster_factor=cluster_factor,
+                        models=self.models,
+                        router=router_spec.key,
+                        traffic=traffic_spec.key,
+                        arrival=arrival_spec.key,
+                        cycles=cycles,
+                        drain_factor=drain_factor,
+                        messages=messages,
+                        traffic_options=traffic_options,
+                        arrival_options=arrival_options,
+                        router_options=router_options,
+                        sim=sim,
+                        specs=construction_specs,
+                        router_spec=router_spec,
+                        traffic_spec=traffic_spec,
+                        arrival_spec=arrival_spec,
+                        sim_spec=sim_spec,
+                    )
+                )
+        return specs
+
+    def run_latency(
+        self,
+        loads: Sequence[float],
+        trials: int = 2,
+        *,
+        num_faults: int = 0,
+        width: int = 16,
+        height: Optional[int] = None,
+        distribution: str = "clustered",
+        base_seed: int = 0,
+        torus: bool = False,
+        cluster_factor: float = 2.0,
+        router: str = "extended-ecube",
+        traffic: str = "uniform",
+        arrival: str = "poisson",
+        cycles: int = 256,
+        drain_factor: int = 8,
+        messages: Optional[int] = None,
+        traffic_options: Optional[TrafficOptions] = None,
+        arrival_options: Optional[TrafficOptions] = None,
+        router_options: Optional[RouterOptions] = None,
+        sim: Optional[str] = None,
+        reducer: Optional[Callable[[float, str, List[Any]], Any]] = None,
+    ) -> List[Any]:
+        """Run a latency-vs-load sweep: one reduced record per offered load.
+
+        Every trial generates one fault pattern at ``num_faults``, builds
+        this executor's models on it and runs one open-loop contention
+        simulation per model (paired comparison).  With the default
+        reducer the return value is a list of
+        :class:`~repro.sim.metrics.LatencySweepPoint` -- the
+        latency-throughput curve of the classic interconnect evaluation.
+        """
+        loads = [float(load) for load in loads]
+        point_reducer = reducer if reducer is not None else latency_point_reducer
+        specs = self.plan_latency(
+            loads,
+            trials,
+            num_faults=num_faults,
+            width=width,
+            height=height,
+            distribution=distribution,
+            base_seed=base_seed,
+            torus=torus,
+            cluster_factor=cluster_factor,
+            router=router,
+            traffic=traffic,
+            arrival=arrival,
+            cycles=cycles,
+            drain_factor=drain_factor,
+            messages=messages,
+            traffic_options=traffic_options,
+            arrival_options=arrival_options,
+            router_options=router_options,
+            sim=sim,
+        )
+        results = self.map_netsim_trials(specs)
+        points: List[Any] = []
+        for load_index, load in enumerate(loads):
+            chunk = results[load_index * trials : (load_index + 1) * trials]
+            points.append(point_reducer(load, distribution, chunk))
         return points

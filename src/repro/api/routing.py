@@ -75,6 +75,7 @@ class RoutingSession:
         # depend on the disabled mask, but keying them like the routers
         # keeps one invalidation rule for everything routing-related.
         self._contexts: Dict[Tuple, Tuple[int, TrafficContext]] = {}
+        self._netsim = None
         session.cache_info.setdefault("router_hits", 0)
         session.cache_info.setdefault("router_misses", 0)
         session.cache_info.setdefault("ring_hits", 0)
@@ -208,7 +209,12 @@ class RoutingSession:
         automatically for the check (which also forces the scalar
         engine), so it cannot raise
         :class:`~repro.routing.stats.MissingRouteResultsError`.  Read the
-        verdict via ``stats.deadlock_free()``.
+        verdict via ``stats.deadlock_free()``.  This is the *static*
+        evidence (no reachable channel-dependency cycle); for the dynamic
+        counterpart -- does the configuration actually stall under load --
+        run the network simulator instead (:meth:`simulate`), whose
+        :class:`~repro.netsim.stats.NetSimStats` reports a ``deadlocked``
+        verdict without keeping per-route results.
         """
         traffic_spec = get_traffic(traffic)
         router_spec, result, router_obj, context = self._resolve(
@@ -235,3 +241,33 @@ class RoutingSession:
         if check_deadlock:
             stats.deadlock_free()
         return stats
+
+    # -- network simulation ----------------------------------------------------------
+
+    @property
+    def netsim(self):
+        """The session's network-simulation facade (:class:`NetSimSession`).
+
+        Plans built through it reuse this session's cached routers and
+        construction results and are invalidated automatically by
+        ``add_faults`` / ``clear``.
+        """
+        if self._netsim is None:
+            # Imported lazily: the netsim facade is optional machinery on
+            # top of the routing layer.
+            from repro.netsim.session import NetSimSession
+
+            self._netsim = NetSimSession(self)
+        return self._netsim
+
+    def simulate(self, construction: str = "mfp", **kwargs):
+        """Run one open-loop contention simulation over a cached construction.
+
+        Convenience for :meth:`repro.netsim.NetSimSession.simulate`: the
+        spatial workload and arrival process resolve through the traffic
+        registry, the simulator through the simulator registry
+        (``REPRO_NETSIM``), and the routed paths are memoised per router /
+        construction across calls.  Returns a
+        :class:`~repro.netsim.stats.NetSimStats`.
+        """
+        return self.netsim.simulate(construction, **kwargs)

@@ -447,6 +447,18 @@ class MeshSession:
         """
         return self.routing.route(construction, **kwargs)
 
+    def simulate(self, construction: str = "mfp", **kwargs):
+        """Run one open-loop contention simulation over a cached construction.
+
+        Convenience for :meth:`repro.netsim.NetSimSession.simulate` (via
+        :attr:`RoutingSession.netsim`): generates a timed traffic batch at
+        the requested ``load``, replays the routed paths against
+        per-virtual-channel occupancy and returns the
+        :class:`~repro.netsim.stats.NetSimStats` (latency arrays, channel
+        utilisation, ``saturated`` / ``deadlocked`` verdicts).
+        """
+        return self.routing.simulate(construction, **kwargs)
+
     def describe(self) -> str:
         """One-line description used by logs and the CLI."""
         kind = "torus" if isinstance(self._topology, Torus2D) else "mesh"

@@ -25,6 +25,14 @@ command resolves its fault-region models through the construction registry
     the choice only affects wall-clock time) -- available on ``sweep
     --routing`` too.
 
+``repro-mesh simulate``
+    Run the open-loop contention simulator (:mod:`repro.netsim`) over one
+    fault pattern: inject timed traffic (``--arrival poisson|bursty``) at
+    one or more offered loads (``--loads``), replay the routed paths
+    against per-virtual-channel occupancy and print the latency /
+    throughput / saturation table.  ``--sim`` picks the simulator
+    (``array`` / ``scalar``; bit-identical, like ``--engine``).
+
 ``repro-mesh verify``
     Run the construction verification suite on a generated fault pattern.
 
@@ -47,6 +55,7 @@ from repro.api import (
     MeshSession,
     engine_keys,
     router_keys,
+    simulator_keys,
     traffic_keys,
 )
 from repro.core.verify import (
@@ -235,6 +244,41 @@ def cmd_route(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_simulate(args: argparse.Namespace) -> int:
+    scenario, session = _session_from(args)
+    print(f"scenario: {scenario.describe()}")
+    print(
+        f"traffic: {args.traffic}, arrival: {args.arrival}, "
+        f"router: {args.router}, model: {args.model}, sim: {args.sim}, "
+        f"cycles: {args.cycles}"
+    )
+    print(
+        f"{'load':>7} {'attempted':>10} {'delivered':>10} {'inflight':>9} "
+        f"{'latency':>8} {'queue':>7} {'accepted':>9} {'state':>9}"
+    )
+    for load in args.loads:
+        stats = session.simulate(
+            args.model,
+            traffic=args.traffic,
+            arrival=args.arrival,
+            load=load,
+            cycles=args.cycles,
+            seed=args.seed,
+            router=args.router,
+            sim=None if args.sim == "auto" else args.sim,
+            drain_factor=args.drain_factor,
+        )
+        state = "deadlock" if stats.deadlocked else (
+            "saturated" if stats.saturated else "stable"
+        )
+        print(
+            f"{load:>7.4f} {stats.attempted:>10} {stats.delivered:>10} "
+            f"{stats.in_flight:>9} {stats.mean_latency:>8.2f} "
+            f"{stats.mean_queueing:>7.2f} {stats.accepted_load:>9.4f} {state:>9}"
+        )
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     if args.key:
         print(get_experiment(args.key).describe())
@@ -334,6 +378,60 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_arguments(route)
     _add_routing_arguments(route)
     route.set_defaults(func=cmd_route)
+
+    simulate = subparsers.add_parser(
+        "simulate",
+        help="run the open-loop contention simulator (latency vs. load)",
+    )
+    _add_scenario_arguments(simulate)
+    simulate.add_argument(
+        "--model",
+        choices=CONSTRUCT_KEYS,
+        default="mfp",
+        help="fault-region construction to simulate over",
+    )
+    simulate.add_argument(
+        "--traffic",
+        choices=tuple(k for k in traffic_keys() if k not in ("poisson", "bursty")),
+        default="uniform",
+        help="spatial traffic pattern (traffic registry key)",
+    )
+    simulate.add_argument(
+        "--arrival",
+        choices=("poisson", "bursty"),
+        default="poisson",
+        help="open-loop arrival process stamping the injection times",
+    )
+    simulate.add_argument(
+        "--router",
+        choices=router_keys(),
+        default="extended-ecube",
+        help="router (router registry key)",
+    )
+    simulate.add_argument(
+        "--loads",
+        type=float,
+        nargs="+",
+        default=[0.01, 0.02, 0.04, 0.08, 0.16],
+        help="offered loads in messages per node per cycle",
+    )
+    simulate.add_argument(
+        "--cycles", type=int, default=256, help="injection-window length in cycles"
+    )
+    simulate.add_argument(
+        "--drain-factor",
+        type=int,
+        default=8,
+        help="hard cap multiplier: simulate at most cycles * drain_factor",
+    )
+    simulate.add_argument(
+        "--sim",
+        choices=("auto",) + simulator_keys(),
+        default="auto",
+        help="contention simulator (simulator registry key; the array "
+        "simulator and the scalar oracle are bit-identical)",
+    )
+    simulate.set_defaults(func=cmd_simulate)
 
     verify = subparsers.add_parser(
         "verify", help="run the construction verification suite"

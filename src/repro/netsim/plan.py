@@ -1,0 +1,173 @@
+"""Routed-path plans: the input the contention simulators replay.
+
+The network simulator separates *routing* from *contention*: every message's
+path is computed up front by the (scalar, path-collecting) router and turned
+into a flat sequence of virtual-channel identifiers; the simulators then
+replay those sequences cycle by cycle against per-channel occupancy.  This
+mirrors how the routing algorithm itself works -- the extended e-cube route
+of a message depends only on the fault regions, never on other traffic -- so
+precomputing paths loses nothing.
+
+Channel numbering (shared by both simulators and the utilisation reports):
+
+* the physical directed link leaving node ``(x, y)`` in direction ``d``
+  (0 east, 1 west, 2 north, 3 south) has ``link = (x * height + y) * 4 + d``;
+* each link carries :data:`NUM_VCS` ( = 5) virtual channels: ``vc0 .. vc3``
+  are the four abnormal classes of :mod:`repro.routing.channels` and ``vc4``
+  is the base dimension-ordered channel (reusing ``BASE_CHANNEL == 4``);
+* the flat channel identifier is ``link * NUM_VCS + vc``.
+
+Unroutable messages (source or destination inside a fault region, or the
+router gives up) are excluded from the replay and reported separately: the
+simulator measures contention among deliverable messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.routing.channels import BASE_CHANNEL, assign_channels, hop_direction
+
+#: Virtual channels per directed physical link (vc0..vc3 abnormal + base).
+NUM_VCS = BASE_CHANNEL + 1
+
+#: Unit hop delta -> direction code (east, west, north, south).
+_DIRECTION: Dict[Tuple[int, int], int] = {(1, 0): 0, (-1, 0): 1, (0, 1): 2, (0, -1): 3}
+
+
+@dataclass(eq=False)
+class SimPlan:
+    """The routed paths of one batch, flattened for lockstep replay.
+
+    ``routed`` flags the messages the router delivered (aligned with the
+    original batch); the remaining arrays are indexed by *routed message*
+    (compacted).  Message ``m``'s hop channels are
+    ``hop_channel[offsets[m] : offsets[m] + lengths[m]]``.
+    """
+
+    width: int
+    height: int
+    #: Messages in the original batch (routed + unroutable).
+    attempted: int
+    #: Boolean mask over the original batch: True = router delivered.
+    routed: np.ndarray
+    #: Per routed message: start of its hop-channel run.
+    offsets: np.ndarray
+    #: Per routed message: number of hops (path length - 1, >= 1).
+    lengths: np.ndarray
+    #: Flat channel identifiers of every hop, concatenated per message.
+    hop_channel: np.ndarray
+    #: Per routed message: injection cycle (>= 0).
+    inject: np.ndarray
+    #: Per routed message: number of abnormal (around-a-region) hops.
+    abnormal: np.ndarray
+    #: Per routed message: the fault-free minimal hop count (Manhattan).
+    minimal: np.ndarray
+
+    @property
+    def num_routed(self) -> int:
+        """Number of messages that take part in the replay."""
+        return int(self.lengths.size)
+
+    @property
+    def num_links(self) -> int:
+        """Directed physical links of the grid (4 per node)."""
+        return self.width * self.height * 4
+
+    @property
+    def num_channels(self) -> int:
+        """Flat channel count (links times virtual channels)."""
+        return self.num_links * NUM_VCS
+
+
+def channel_ids(assignment, height: int, topology=None) -> np.ndarray:
+    """Flatten one :class:`VirtualChannelAssignment` into channel identifiers."""
+    ids = np.empty(len(assignment.channels), dtype=np.int64)
+    for index, (current, nxt, vc) in enumerate(assignment.channels):
+        dx, dy = hop_direction(current, nxt, topology)
+        direction = _DIRECTION.get((dx, dy))
+        if direction is None:  # pragma: no cover - corrupt path defensive check
+            raise ValueError(f"non-unit hop {current} -> {nxt} in routed path")
+        link = (current[0] * height + current[1]) * 4 + direction
+        ids[index] = link * NUM_VCS + vc
+    return ids
+
+
+def build_plan(
+    router,
+    batch,
+    *,
+    path_cache: Optional[Dict] = None,
+) -> SimPlan:
+    """Route *batch* through *router* and flatten the paths into a plan.
+
+    Paths are computed once per unique ``(source, destination)`` pair via
+    the scalar ``router.route`` (the path-collecting oracle the batch
+    engine is verified against) and memoised in *path_cache* -- pass the
+    same dictionary across calls (e.g. per session version) to amortise
+    routing over a latency-vs-load sweep, where every load point replays
+    largely the same pair population.
+    """
+    width, height = router.enabled_mask.shape
+    topology = getattr(router, "topology", None)
+    cache: Dict = path_cache if path_cache is not None else {}
+    src_x, src_y, dst_x, dst_y = (np.asarray(a) for a in batch.as_arrays())
+    attempted = int(src_x.size)
+    if batch.inject_time is not None:
+        inject_all = np.asarray(batch.inject_time, dtype=np.int64)
+    else:
+        inject_all = np.zeros(attempted, dtype=np.int64)
+    routed = np.zeros(attempted, dtype=bool)
+    channel_runs = []
+    lengths = []
+    inject = []
+    abnormal = []
+    minimal = []
+    for index in range(attempted):
+        pair = (
+            int(src_x[index]),
+            int(src_y[index]),
+            int(dst_x[index]),
+            int(dst_y[index]),
+        )
+        if pair not in cache:
+            result = router.route((pair[0], pair[1]), (pair[2], pair[3]))
+            if result.delivered:
+                assignment = assign_channels(result, topology=topology)
+                cache[pair] = (
+                    channel_ids(assignment, height, topology),
+                    int(result.abnormal_hops),
+                )
+            else:
+                cache[pair] = None
+        entry = cache[pair]
+        if entry is None:
+            continue
+        routed[index] = True
+        channel_runs.append(entry[0])
+        lengths.append(entry[0].size)
+        inject.append(int(inject_all[index]))
+        abnormal.append(entry[1])
+        minimal.append(abs(pair[2] - pair[0]) + abs(pair[3] - pair[1]))
+    lengths_arr = np.asarray(lengths, dtype=np.int64)
+    offsets = np.zeros(lengths_arr.size, dtype=np.int64)
+    if lengths_arr.size:
+        np.cumsum(lengths_arr[:-1], out=offsets[1:])
+    hop_channel = (
+        np.concatenate(channel_runs) if channel_runs else np.empty(0, dtype=np.int64)
+    )
+    return SimPlan(
+        width=width,
+        height=height,
+        attempted=attempted,
+        routed=routed,
+        offsets=offsets,
+        lengths=lengths_arr,
+        hop_channel=hop_channel.astype(np.int64, copy=False),
+        inject=np.asarray(inject, dtype=np.int64),
+        abnormal=np.asarray(abnormal, dtype=np.int64),
+        minimal=np.asarray(minimal, dtype=np.int64),
+    )

@@ -1,0 +1,140 @@
+"""The simulator registry and the ``REPRO_NETSIM`` default switch.
+
+Mirrors the routing-engine registry of :mod:`repro.routing.engine` (and the
+``REPRO_MASK_KERNEL`` toggle before it): two built-in implementations --
+the vectorized ``array`` simulator and the dict-based ``scalar`` oracle --
+selectable per call (``sim="scalar"``), per scope (``use_simulator``) or
+globally (environment variable ``REPRO_NETSIM``).  Both produce
+bit-identical results, so the switch is a verification and debugging tool,
+never a semantics choice.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro._registry import SpecRegistry
+from repro.netsim.plan import SimPlan
+from repro.netsim.simulators import SimOutcome, simulate_array, simulate_scalar
+
+#: A runner replays one plan: ``(plan, max_cycles) -> SimOutcome``.
+SimRunner = Callable[[SimPlan, int], SimOutcome]
+
+
+@dataclass(frozen=True)
+class SimulatorSpec:
+    """One registered contention simulator."""
+
+    key: str
+    label: str
+    description: str
+    runner: SimRunner
+    aliases: Tuple[str, ...] = ()
+
+
+_SIMULATORS = SpecRegistry("simulator")
+
+
+def register_simulator(spec: SimulatorSpec, replace: bool = False) -> SimulatorSpec:
+    """Register *spec* (and its aliases) in the global simulator registry.
+
+    Registration makes the simulator available to ``get_simulator``,
+    :meth:`repro.netsim.NetSimSession.simulate`, the latency sweeps and
+    the CLI ``simulate --sim`` option.  Raises ``ValueError`` on key
+    collisions unless *replace*.
+    """
+    return _SIMULATORS.register(spec, replace)
+
+
+def get_simulator(key: str) -> SimulatorSpec:
+    """Look up a simulator by key or alias (case-insensitive)."""
+    return _SIMULATORS.get(key)
+
+
+def available_simulators() -> List[SimulatorSpec]:
+    """Return every registered simulator spec, in registration order."""
+    return _SIMULATORS.available()
+
+
+def simulator_keys() -> Tuple[str, ...]:
+    """Return the registered simulator keys, in registration order."""
+    return _SIMULATORS.keys()
+
+
+register_simulator(
+    SimulatorSpec(
+        key="array",
+        label="AR",
+        description="vectorized occupancy replay (lexsort arbitration per cycle)",
+        runner=simulate_array,
+        aliases=("vectorized", "numpy"),
+    )
+)
+register_simulator(
+    SimulatorSpec(
+        key="scalar",
+        label="SC",
+        description="dict-based per-message reference loop (the oracle)",
+        runner=simulate_scalar,
+        aliases=("loop", "reference"),
+    )
+)
+
+
+# -- default-simulator switch (mirrors REPRO_ROUTE_ENGINE) --------------------------
+
+_default_simulator = SpecRegistry.normalise(os.environ.get("REPRO_NETSIM", "auto"))
+
+
+def default_simulator() -> str:
+    """The ambient simulator selection (``auto`` unless switched)."""
+    return _default_simulator
+
+
+def set_default_simulator(key: str) -> str:
+    """Set the ambient simulator selection; returns the previous value.
+
+    *key* is ``auto`` or any registered simulator key/alias (validated
+    eagerly, like the registry lookups).
+    """
+    global _default_simulator
+    key = SpecRegistry.normalise(key)
+    if key != "auto":
+        key = get_simulator(key).key
+    previous = _default_simulator
+    _default_simulator = key
+    return previous
+
+
+@contextmanager
+def use_simulator(key: str):
+    """Temporarily switch the ambient simulator selection (context manager).
+
+    Mirrors :func:`repro.routing.engine.use_engine`::
+
+        with use_simulator("scalar"):
+            stats = session.simulate(load=0.1, cycles=200)   # forced oracle
+    """
+    previous = set_default_simulator(key)
+    try:
+        yield
+    finally:
+        set_default_simulator(previous)
+
+
+def resolve_simulator(sim: Optional[str] = None) -> SimulatorSpec:
+    """Resolve the simulator that will replay one plan.
+
+    ``sim=None`` follows the ambient default (:func:`default_simulator`);
+    ``auto`` -- the shipped default -- picks the vectorized array
+    simulator.  Both simulators serve every request (they are
+    bit-identical), so unlike the engine resolution there is no fallback
+    path: an unknown key raises ``KeyError`` either way.
+    """
+    key = SpecRegistry.normalise(sim) if sim is not None else default_simulator()
+    if key == "auto":
+        return get_simulator("array")
+    return get_simulator(key)

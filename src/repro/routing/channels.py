@@ -52,7 +52,32 @@ class VirtualChannelAssignment:
         return any(channel[2] != BASE_CHANNEL for channel in self.channels)
 
 
-def assign_channels(result: RouteResult) -> VirtualChannelAssignment:
+def hop_direction(current: Coord, nxt: Coord, topology=None) -> Tuple[int, int]:
+    """The unit direction of one hop, normalising torus wrap hops.
+
+    Mesh hops are always unit steps; on a torus a wrap hop shows up as a
+    jump of ``width - 1`` (or ``height - 1``) in the raw coordinate delta.
+    Passing the *topology* folds those jumps back onto the physical link
+    actually crossed (east wrap ``width-1 -> 0`` is a ``+1`` hop, and so
+    on), so channel classification sees the real link direction.
+    """
+    dx, dy = nxt[0] - current[0], nxt[1] - current[1]
+    if topology is not None and (abs(dx) > 1 or abs(dy) > 1):
+        width, height = topology.width, topology.height
+        if dx == width - 1:
+            dx = -1
+        elif dx == -(width - 1):
+            dx = 1
+        if dy == height - 1:
+            dy = -1
+        elif dy == -(height - 1):
+            dy = 1
+    return dx, dy
+
+
+def assign_channels(
+    result: RouteResult, topology=None
+) -> VirtualChannelAssignment:
     """Assign a virtual channel to every hop of a routed message.
 
     The message class (and therefore the abnormal channel) is re-evaluated
@@ -60,20 +85,28 @@ def assign_channels(result: RouteResult) -> VirtualChannelAssignment:
     NS/SN afterwards.  A hop that does not follow the base e-cube next hop
     is an abnormal hop and uses the class channel; base hops use the shared
     dimension-ordered channel.
+
+    Pass *topology* when the paths may contain torus wrap hops: the hop
+    direction is then normalised onto the physical wrap link (see
+    :func:`hop_direction`).  A wrap hop that steps in the message's mesh
+    e-cube direction would be a torus shortcut the mesh-based expectation
+    cannot anticipate, so every wrap hop classifies as abnormal (the
+    conservative choice -- abnormal channels are the ones proven safe for
+    non-e-cube steps).
     """
     channels: List[Channel] = []
     path = result.path
     for current, nxt in zip(path, path[1:]):
         message_type = initial_message_type(current, result.destination)
-        expected_dx = (
-            1 if result.destination[0] > current[0] else -1 if result.destination[0] < current[0] else 0
-        )
-        expected_dy = (
-            1 if result.destination[1] > current[1] else -1 if result.destination[1] < current[1] else 0
-        )
-        dx, dy = nxt[0] - current[0], nxt[1] - current[1]
-        is_base_hop = (expected_dx != 0 and (dx, dy) == (expected_dx, 0)) or (
-            expected_dx == 0 and (dx, dy) == (0, expected_dy)
+        dest_x, dest_y = result.destination
+        expected_dx = 1 if dest_x > current[0] else -1 if dest_x < current[0] else 0
+        expected_dy = 1 if dest_y > current[1] else -1 if dest_y < current[1] else 0
+        raw_dx, raw_dy = nxt[0] - current[0], nxt[1] - current[1]
+        dx, dy = hop_direction(current, nxt, topology)
+        wrapped = (dx, dy) != (raw_dx, raw_dy)
+        is_base_hop = not wrapped and (
+            (expected_dx != 0 and (dx, dy) == (expected_dx, 0))
+            or (expected_dx == 0 and (dx, dy) == (0, expected_dy))
         )
         if is_base_hop:
             channels.append((current, nxt, BASE_CHANNEL))

@@ -74,6 +74,11 @@ class RoutingStats:
     #: asserted bit-identical to the scalar loop on every aggregate field,
     #: so the label is provenance, not a caveat.
     engine: str = ""
+    #: Simulator registry key when the record describes the routed paths of
+    #: a :mod:`repro.netsim` contention run (``"array"`` / ``"scalar"``;
+    #: empty for contention-free routing).  Like ``engine``, provenance:
+    #: the simulators are asserted bit-identical.
+    sim: str = ""
     #: Cached deadlock-freedom verdict (filled by :meth:`deadlock_free`).
     _deadlock_free: Optional[bool] = field(default=None, repr=False)
 
@@ -133,7 +138,10 @@ class RoutingStats:
                 raise MissingRouteResultsError(
                     "deadlock_free() needs the individual route results; run "
                     "with collect_results=True (or request check_deadlock=True "
-                    "so collection is enabled automatically)"
+                    "so collection is enabled automatically). Note that the "
+                    "network simulator (repro.netsim) checks deadlock "
+                    "dynamically instead: session.simulate(...) reports a "
+                    "'deadlocked' verdict without keeping per-route results."
                 )
             assignments = [
                 assign_channels(result) for result in self.results if result.delivered

@@ -17,7 +17,17 @@ key       label               endpoint pattern
                               a few hotspot nodes
 ``nearest-neighbour``  NN     destinations within a small Manhattan radius
 ``permutation``        RP     one random enabled-node permutation per batch
+``poisson``            PO     open-loop arrival process: endpoints drawn by a
+                              wrapped spatial pattern, injection times from a
+                              Poisson process of the requested rate
+``bursty``             BU     open-loop bursty (on/off) arrivals: back-to-back
+                              bursts separated by exponential idle gaps
 ========  ==================  ================================================
+
+The two arrival workloads additionally stamp ``TrafficBatch.inject_time``
+(cycle numbers, nondecreasing) for the open-loop network simulator of
+:mod:`repro.netsim`; the closed-loop routing paths simply ignore the
+timestamps, so they are usable anywhere a spatial workload is.
 
 Generation is *vectorized on the mask-kernel representation*: a
 :class:`TrafficContext` carries the enabled endpoints as the ``(xs, ys)``
@@ -123,6 +133,47 @@ class PermutationOptions(TrafficOptions):
     """Options of the random-permutation workload (none yet)."""
 
 
+@dataclass(frozen=True)
+class ArrivalOptions(TrafficOptions):
+    """Base options shared by the open-loop arrival processes.
+
+    ``pattern`` names the spatial workload that draws the endpoint pairs
+    (any non-arrival traffic key), ``rate`` is the aggregate injection
+    rate in messages per cycle across the whole network, and
+    ``pattern_options`` is forwarded to the spatial workload's generator.
+    """
+
+    pattern: str = "uniform"
+    rate: float = 1.0
+    pattern_options: Optional[TrafficOptions] = None
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0.0:
+            raise ValueError("rate must be positive (messages per cycle)")
+
+
+@dataclass(frozen=True)
+class PoissonArrivalOptions(ArrivalOptions):
+    """Options of the Poisson arrival process (memoryless inter-arrivals)."""
+
+
+@dataclass(frozen=True)
+class BurstyArrivalOptions(ArrivalOptions):
+    """Options of the bursty (on/off) arrival process.
+
+    Messages arrive in back-to-back bursts of ``burst`` messages (one per
+    cycle); the idle gaps between bursts are exponential with a mean
+    chosen so the long-run rate still matches ``rate``.
+    """
+
+    burst: int = 8
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.burst < 1:
+            raise ValueError("burst must be at least 1")
+
+
 # -- endpoint batches ---------------------------------------------------------------
 
 
@@ -138,6 +189,10 @@ class TrafficBatch:
     src_y: np.ndarray
     dst_x: np.ndarray
     dst_y: np.ndarray
+    #: Optional per-message injection cycles (int64, nondecreasing), stamped
+    #: by the open-loop arrival workloads; ``None`` for closed-loop batches
+    #: (the network simulator then injects everything at cycle 0).
+    inject_time: Optional[np.ndarray] = None
 
     @classmethod
     def empty(cls) -> "TrafficBatch":
@@ -465,6 +520,64 @@ def _permutation(context, count, rng, options):
     )
 
 
+# -- open-loop arrival processes ----------------------------------------------------
+
+
+def _spatial_batch(context, count, rng, options: ArrivalOptions) -> TrafficBatch:
+    """Draw the endpoint pairs of an arrival batch from its spatial pattern."""
+    spec = get_traffic(options.pattern)
+    if issubclass(spec.options_type, ArrivalOptions):
+        raise ValueError(
+            f"arrival workloads cannot nest: pattern {spec.key!r} is itself "
+            "an arrival process; pick a spatial workload (e.g. 'uniform')"
+        )
+    return spec.generate(context, count, rng=rng, options=options.pattern_options)
+
+
+def _with_inject_times(batch: TrafficBatch, times: np.ndarray) -> TrafficBatch:
+    return TrafficBatch(
+        batch.src_x, batch.src_y, batch.dst_x, batch.dst_y, inject_time=times
+    )
+
+
+def _poisson_arrival(context, count, rng, options):
+    """Poisson process: i.i.d. exponential inter-arrival gaps at ``rate``.
+
+    The endpoint pairs come first (one draw of the spatial pattern with the
+    same generator), then the injection cycles, so the spatial batch is
+    bit-identical to the plain pattern's batch under the same seed.
+    """
+    batch = _spatial_batch(context, count, rng, options)
+    if len(batch) == 0:
+        return batch
+    gaps = rng.exponential(1.0 / options.rate, size=len(batch))
+    times = np.floor(np.cumsum(gaps)).astype(np.int64)
+    return _with_inject_times(batch, times)
+
+
+def _bursty_arrival(context, count, rng, options):
+    """Bursty on/off arrivals: bursts of back-to-back messages, idle gaps.
+
+    Each burst injects ``burst`` messages on consecutive cycles; the gap
+    from one burst's start to the next is ``burst - 1`` busy cycles plus an
+    exponential idle stretch whose mean keeps the long-run rate at
+    ``rate``.
+    """
+    batch = _spatial_batch(context, count, rng, options)
+    n = len(batch)
+    if n == 0:
+        return batch
+    burst = options.burst
+    num_bursts = -(-n // burst)
+    idle_mean = max(burst / options.rate - (burst - 1), 1e-9)
+    idle = rng.exponential(idle_mean, size=num_bursts)
+    starts = np.cumsum(idle + (burst - 1)) - (burst - 1)
+    burst_index = np.arange(n) // burst
+    offset_in_burst = np.arange(n) % burst
+    times = np.floor(starts[burst_index] + offset_in_burst).astype(np.int64)
+    return _with_inject_times(batch, times)
+
+
 # -- built-in workloads -------------------------------------------------------------
 
 register_traffic(
@@ -525,5 +638,25 @@ register_traffic(
         generator=_permutation,
         options_type=PermutationOptions,
         aliases=("random-permutation",),
+    )
+)
+register_traffic(
+    TrafficSpec(
+        key="poisson",
+        label="PO",
+        description="open-loop Poisson arrivals over a wrapped spatial pattern",
+        generator=_poisson_arrival,
+        options_type=PoissonArrivalOptions,
+        aliases=("poisson-arrival", "open-loop"),
+    )
+)
+register_traffic(
+    TrafficSpec(
+        key="bursty",
+        label="BU",
+        description="open-loop bursty (on/off) arrivals over a wrapped spatial pattern",
+        generator=_bursty_arrival,
+        options_type=BurstyArrivalOptions,
+        aliases=("bursty-arrival", "on-off"),
     )
 )

@@ -10,6 +10,9 @@ conducted in a 100x100 mesh ... the number of faults is no more than 800")
 worker processes, and ``run_routing_sweep`` does the same for the routing
 extension: every trial routes one synthetic traffic batch (see
 :mod:`repro.routing.traffic`) over each model's regions.
+``run_latency_sweep`` adds the open-loop axis on top: every trial replays
+a timed batch through the contention simulator of :mod:`repro.netsim`,
+producing the classic latency-vs-offered-load curve.
 """
 
 from __future__ import annotations
@@ -18,12 +21,18 @@ from typing import List, Sequence, Tuple
 
 from repro.api.executor import (
     DEFAULT_MODELS,
+    DEFAULT_NETSIM_MODELS,
     DEFAULT_ROUTING_MODELS,
     SweepExecutor,
     collect_scenario_metrics,
 )
 from repro.faults.scenario import FaultScenario
-from repro.sim.metrics import RoutingSweepPoint, ScenarioMetrics, SweepPoint
+from repro.sim.metrics import (
+    LatencySweepPoint,
+    RoutingSweepPoint,
+    ScenarioMetrics,
+    SweepPoint,
+)
 
 
 def _model_keys(include_distributed: bool) -> tuple:
@@ -136,5 +145,57 @@ def run_routing_sweep(
         traffic=traffic,
         messages=messages,
         engine=engine,
+        reducer=reducer,
+    )
+
+
+def run_latency_sweep(
+    loads: Sequence[float],
+    trials: int = 2,
+    num_faults: int = 0,
+    width: int = 16,
+    distribution: str = "clustered",
+    base_seed: int = 0,
+    models: Tuple[str, ...] = DEFAULT_NETSIM_MODELS,
+    router: str = "extended-ecube",
+    traffic: str = "uniform",
+    arrival: str = "poisson",
+    cycles: int = 256,
+    drain_factor: int = 8,
+    cluster_factor: float = 2.0,
+    torus: bool = False,
+    workers: int = 1,
+    sim=None,
+    reducer=None,
+) -> List[LatencySweepPoint]:
+    """Run an open-loop latency-vs-load sweep over the network simulator.
+
+    Returns one :class:`~repro.sim.metrics.LatencySweepPoint` per entry of
+    *loads* (offered messages per node per cycle).  Every trial generates
+    one fault pattern at *num_faults*, builds *models* on it and replays a
+    timed traffic batch (*traffic* endpoints, *arrival* injection times)
+    through the contention simulator -- the paper-standard interconnect
+    evaluation the contention-free routing sweeps cannot produce.  Like
+    the other sweeps, trials fan out over ``workers`` processes with
+    deterministic seeds; *sim* picks the simulator (``"array"`` /
+    ``"scalar"`` / ``"auto"``; ``None`` follows ``REPRO_NETSIM``), which
+    never affects the results -- the simulators are bit-identical.
+    """
+    executor = SweepExecutor(models=models, workers=workers)
+    return executor.run_latency(
+        loads,
+        trials,
+        num_faults=num_faults,
+        width=width,
+        distribution=distribution,
+        base_seed=base_seed,
+        cluster_factor=cluster_factor,
+        torus=torus,
+        router=router,
+        traffic=traffic,
+        arrival=arrival,
+        cycles=cycles,
+        drain_factor=drain_factor,
+        sim=sim,
         reducer=reducer,
     )

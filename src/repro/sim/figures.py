@@ -14,8 +14,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.sim.experiments import run_routing_sweep, run_sweep
-from repro.sim.metrics import RoutingSweepPoint, SweepPoint
+from repro.sim.experiments import run_latency_sweep, run_routing_sweep, run_sweep
+from repro.sim.metrics import LatencySweepPoint, RoutingSweepPoint, SweepPoint
 
 #: Fault counts used by the paper's sweep (0 is omitted: it is trivially 0).
 DEFAULT_FAULT_COUNTS: Sequence[int] = (100, 200, 300, 400, 500, 600, 700, 800)
@@ -31,6 +31,9 @@ class FigureSeries:
     y_label: str
     x_values: List[int]
     series: Dict[str, List[float]] = field(default_factory=dict)
+    #: Header of the x column in :meth:`as_rows` (fault sweeps keep the
+    #: historical "faults"; the latency sweeps use "load").
+    x_key: str = "faults"
 
     def value(self, model: str, num_faults: int) -> float:
         """Return the y value of *model* at *num_faults*."""
@@ -39,7 +42,7 @@ class FigureSeries:
 
     def as_rows(self) -> List[List[str]]:
         """Render the panel as table rows (header row first)."""
-        header = ["faults"] + list(self.series)
+        header = [self.x_key] + list(self.series)
         rows = [header]
         for index, x in enumerate(self.x_values):
             row = [str(x)]
@@ -220,6 +223,78 @@ def routing_series(
         x_label="Number of faulty nodes",
         y_label=y_label,
         x_values=[p.num_faults for p in points],
+    )
+    models = points[0].models() if points else []
+    for model in models:
+        figure.series[model] = [getattr(p, accessor)(model) for p in points]
+    return figure
+
+
+#: Latency-series metrics -> (LatencySweepPoint accessor, y-axis label).
+LATENCY_METRICS: Dict[str, tuple] = {
+    "mean_latency": ("mean_latency", "Mean latency (cycles)"),
+    "mean_queueing": ("mean_queueing", "Mean queueing delay (cycles)"),
+    "accepted_load": ("mean_accepted_load", "Accepted load (messages/node/cycle)"),
+    "saturated": ("saturated_fraction", "Fraction of saturated runs"),
+    "deadlocked": ("deadlocked_fraction", "Fraction of deadlocked runs"),
+}
+
+#: Offered loads of the default latency-vs-load sweep (messages/node/cycle).
+DEFAULT_LOADS: Sequence[float] = (0.005, 0.01, 0.02, 0.04, 0.08, 0.16, 0.32)
+
+
+def latency_series(
+    metric: str = "mean_latency",
+    distribution: str = "clustered",
+    loads: Sequence[float] = DEFAULT_LOADS,
+    trials: int = 2,
+    num_faults: int = 0,
+    width: int = 16,
+    base_seed: int = 0,
+    traffic: str = "uniform",
+    arrival: str = "poisson",
+    router: str = "extended-ecube",
+    cycles: int = 256,
+    torus: bool = False,
+    points: Optional[List[LatencySweepPoint]] = None,
+    workers: int = 1,
+) -> FigureSeries:
+    """Network-simulator extension: one contention *metric* vs. offered load.
+
+    The latency-vs-load plot is the standard interconnect evaluation the
+    paper's contention-free statistics cannot produce; the curve is flat
+    near zero load (pure hop latency), rises with queueing delay and blows
+    up past the saturation throughput.  Pass precomputed ``points`` (from
+    :func:`repro.sim.experiments.run_latency_sweep`) to reuse one sweep
+    for several metrics.
+    """
+    try:
+        accessor, y_label = LATENCY_METRICS[metric]
+    except KeyError:
+        known = ", ".join(sorted(LATENCY_METRICS))
+        raise KeyError(f"unknown latency metric {metric!r}; known: {known}") from None
+    if points is None:
+        points = run_latency_sweep(
+            loads=loads,
+            trials=trials,
+            num_faults=num_faults,
+            width=width,
+            distribution=distribution,
+            base_seed=base_seed,
+            traffic=traffic,
+            arrival=arrival,
+            router=router,
+            cycles=cycles,
+            torus=torus,
+            workers=workers,
+        )
+    figure = FigureSeries(
+        figure=f"netsim/{metric} ({traffic}/{arrival})",
+        distribution=distribution,
+        x_label="Offered load (messages/node/cycle)",
+        y_label=y_label,
+        x_values=[p.load for p in points],
+        x_key="load",
     )
     models = points[0].models() if points else []
     for model in models:

@@ -17,6 +17,11 @@ same three-level shape: :class:`RoutingMetrics` captures the scalars of
 one routed message batch, :class:`RoutingScenarioMetrics` groups the fault
 models routed over one fault pattern, and :class:`RoutingSweepPoint`
 averages the scenarios at one fault count.
+
+The latency-vs-load sweeps of the network simulator (:mod:`repro.netsim`)
+mirror it once more with the offered load as the x axis:
+:class:`NetSimMetrics` / :class:`NetSimScenarioMetrics` /
+:class:`LatencySweepPoint`.
 """
 
 from __future__ import annotations
@@ -176,6 +181,123 @@ class RoutingScenarioMetrics:
     def value(self, model: str, metric: str) -> float:
         """Read one scalar (attribute name) of *model*'s record."""
         return getattr(self.per_model[model], metric)
+
+
+@dataclass(frozen=True)
+class NetSimMetrics:
+    """Scalars of one open-loop contention simulation run."""
+
+    model: str
+    traffic: str
+    arrival: str
+    router: str
+    sim: str
+    load: float
+    num_faults: int
+    enabled: int
+    attempted: int
+    unroutable: int
+    delivered: int
+    in_flight: int
+    delivery_rate: float
+    mean_latency: float
+    mean_queueing: float
+    mean_hops: float
+    accepted_load: float
+    cycles_run: int
+    saturated: bool
+    deadlocked: bool
+
+    @classmethod
+    def from_stats(cls, stats, *, num_faults: int = 0) -> "NetSimMetrics":
+        """Extract the scalars from a :class:`repro.netsim.NetSimStats`."""
+        return cls(
+            model=stats.model,
+            traffic=stats.traffic,
+            arrival=stats.arrival,
+            router=stats.router,
+            sim=stats.sim,
+            load=stats.load,
+            num_faults=num_faults,
+            enabled=stats.enabled,
+            attempted=stats.attempted,
+            unroutable=stats.unroutable,
+            delivered=stats.delivered,
+            in_flight=stats.in_flight,
+            delivery_rate=stats.delivery_rate,
+            mean_latency=stats.mean_latency,
+            mean_queueing=stats.mean_queueing,
+            mean_hops=stats.mean_hops,
+            accepted_load=stats.accepted_load,
+            cycles_run=stats.cycles_run,
+            saturated=stats.saturated,
+            deadlocked=stats.deadlocked,
+        )
+
+
+@dataclass
+class NetSimScenarioMetrics:
+    """All contention metrics for one load point's scenario (per model)."""
+
+    load: float
+    num_faults: int
+    distribution: str
+    seed: int
+    traffic: str = "uniform"
+    arrival: str = "poisson"
+    router: str = "extended-ecube"
+    per_model: Dict[str, NetSimMetrics] = field(default_factory=dict)
+
+    def add(self, metrics: NetSimMetrics) -> None:
+        """Register the metrics of one simulated construction."""
+        self.per_model[metrics.model] = metrics
+
+    def value(self, model: str, metric: str) -> float:
+        """Read one scalar (attribute name) of *model*'s record."""
+        return getattr(self.per_model[model], metric)
+
+
+@dataclass
+class LatencySweepPoint:
+    """Average of several contention scenarios at one offered load."""
+
+    load: float
+    distribution: str
+    scenarios: List[NetSimScenarioMetrics] = field(default_factory=list)
+
+    def add(self, scenario: NetSimScenarioMetrics) -> None:
+        """Register one scenario's contention metrics."""
+        self.scenarios.append(scenario)
+
+    def models(self) -> List[str]:
+        """The model labels present at this point (first scenario's order)."""
+        return list(self.scenarios[0].per_model) if self.scenarios else []
+
+    def mean(self, model: str, metric: str) -> float:
+        """Average one scalar (attribute name) of *model* over the scenarios."""
+        if not self.scenarios:
+            return 0.0
+        return mean(float(s.value(model, metric)) for s in self.scenarios)
+
+    def mean_latency(self, model: str) -> float:
+        """Average delivered-message latency (cycles) for *model*."""
+        return self.mean(model, "mean_latency")
+
+    def mean_queueing(self, model: str) -> float:
+        """Average stalled cycles per delivered message for *model*."""
+        return self.mean(model, "mean_queueing")
+
+    def mean_accepted_load(self, model: str) -> float:
+        """Average delivered throughput (messages/node/cycle) for *model*."""
+        return self.mean(model, "accepted_load")
+
+    def saturated_fraction(self, model: str) -> float:
+        """Fraction of the point's scenarios past the saturation knee."""
+        return self.mean(model, "saturated")
+
+    def deadlocked_fraction(self, model: str) -> float:
+        """Fraction of the point's scenarios that stopped on a deadlock."""
+        return self.mean(model, "deadlocked")
 
 
 @dataclass

@@ -202,6 +202,24 @@ EXPERIMENTS: Dict[str, Experiment] = {
             in_paper=False,
         ),
         Experiment(
+            key="latency-load",
+            paper_reference="standard interconnect evaluation (extension)",
+            description="open-loop latency vs. offered load over MFP regions",
+            quantity="mean latency, accepted load, saturation/deadlock verdicts",
+            series=("MFP",),
+            workload=(
+                "16x16/32x32 meshes, fault-free vs clustered faults, "
+                "Poisson/bursty arrivals over the synthetic traffic suite"
+            ),
+            modules=(
+                "repro.netsim",
+                "repro.routing.traffic",
+                "repro.api.routing",
+            ),
+            bench_target="benchmarks/bench_saturation.py",
+            in_paper=False,
+        ),
+        Experiment(
             key="ablation-mesh-size",
             paper_reference="scalability argument of Section 3",
             description="construction rounds vs. mesh size at fixed fault density",

@@ -12,8 +12,11 @@ import pytest
 
 from repro.mesh.topology import Mesh2D, Torus2D
 from repro.routing.traffic import (
+    ArrivalOptions,
+    BurstyArrivalOptions,
     HotspotOptions,
     NearestNeighbourOptions,
+    PoissonArrivalOptions,
     TrafficBatch,
     TrafficContext,
     TrafficSpec,
@@ -23,6 +26,7 @@ from repro.routing.traffic import (
 )
 
 ALL_KEYS = ("uniform", "transpose", "bit-reversal", "hotspot", "nearest-neighbour", "permutation")
+ARRIVAL_KEYS = ("poisson", "bursty")
 
 
 def _context(width=16, height=None, disabled=(), torus=False):
@@ -32,7 +36,10 @@ def _context(width=16, height=None, disabled=(), torus=False):
 
 
 def _fingerprint(batch: TrafficBatch) -> bytes:
-    return np.stack([a.astype(np.int64) for a in batch.as_arrays()]).tobytes()
+    arrays = [a.astype(np.int64) for a in batch.as_arrays()]
+    if batch.inject_time is not None:
+        arrays.append(batch.inject_time.astype(np.int64))
+    return np.stack(arrays).tobytes()
 
 
 def _generate_fingerprint(args) -> bytes:
@@ -235,3 +242,111 @@ class TestPatternShapes:
         )
         batch = get_traffic("uniform").generate(context, 60, seed=13)
         assert list(batch.pairs()) == expected
+
+
+class TestArrivalProcesses:
+    """The open-loop arrival workloads (poisson / bursty) of repro.netsim."""
+
+    def test_registered_with_aliases(self):
+        assert set(ARRIVAL_KEYS) <= set(traffic_keys())
+        assert get_traffic("open-loop") is get_traffic("poisson")
+        assert get_traffic("on-off") is get_traffic("bursty")
+
+    @pytest.mark.parametrize("key", ARRIVAL_KEYS)
+    def test_same_seed_same_batch(self, key):
+        context = _context(16, disabled={(2, 2), (9, 9)})
+        a = get_traffic(key).generate(context, 200, seed=42)
+        b = get_traffic(key).generate(context, 200, seed=42)
+        assert _fingerprint(a) == _fingerprint(b)
+        assert _fingerprint(get_traffic(key).generate(context, 200, seed=43)) != _fingerprint(a)
+
+    @pytest.mark.parametrize("key", ARRIVAL_KEYS)
+    def test_same_seed_across_processes(self, key):
+        args = (key, 16, ((2, 2), (5, 5)), 120, 7)
+        local = _generate_fingerprint(args)
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context()
+        with context.Pool(processes=2) as pool:
+            remote = pool.map(_generate_fingerprint, [args, args])
+        assert remote == [local, local]
+
+    @pytest.mark.parametrize("key", ARRIVAL_KEYS)
+    def test_inject_times_are_nondecreasing_int64(self, key):
+        context = _context(12)
+        batch = get_traffic(key).generate(context, 300, seed=5, rate=2.0)
+        assert batch.inject_time is not None
+        assert batch.inject_time.dtype == np.int64
+        assert len(batch.inject_time) == len(batch)
+        assert np.all(np.diff(batch.inject_time) >= 0)
+        assert np.all(batch.inject_time >= 0)
+
+    @pytest.mark.parametrize("key", ARRIVAL_KEYS)
+    def test_endpoints_match_wrapped_spatial_pattern(self, key):
+        # The arrival process delegates its endpoint draw to the spatial
+        # pattern with the same generator, so the endpoint arrays are
+        # bit-identical to the plain pattern's batch under the same seed.
+        context = _context(12, disabled={(3, 3)})
+        timed = get_traffic(key).generate(
+            context, 150, seed=9, pattern="transpose", rate=0.5
+        )
+        plain = get_traffic("transpose").generate(context, 150, seed=9)
+        assert _fingerprint(plain) == np.stack(
+            [a.astype(np.int64) for a in timed.as_arrays()]
+        ).tobytes()
+
+    @pytest.mark.parametrize("key", ARRIVAL_KEYS)
+    def test_endpoints_are_enabled_and_distinct(self, key):
+        disabled = {(0, 0), (7, 7), (7, 8), (8, 7)}
+        context = _context(16, disabled=disabled)
+        batch = get_traffic(key).generate(context, 200, seed=5)
+        for source, destination in batch.pairs():
+            assert source != destination
+            assert context.enabled_mask[source]
+            assert context.enabled_mask[destination]
+
+    def test_bursty_back_to_back_within_burst(self):
+        context = _context(12)
+        batch = get_traffic("bursty").generate(context, 64, seed=1, rate=0.5, burst=4)
+        times = batch.inject_time
+        # Consecutive messages of one burst land on consecutive cycles.
+        for start in range(0, 64, 4):
+            chunk = times[start : start + 4]
+            assert np.all(np.diff(chunk) == 1)
+
+    def test_poisson_rate_scales_spacing(self):
+        context = _context(16)
+        slow = get_traffic("poisson").generate(context, 400, seed=3, rate=0.5)
+        fast = get_traffic("poisson").generate(context, 400, seed=3, rate=4.0)
+        assert slow.inject_time[-1] > fast.inject_time[-1]
+
+    def test_empty_batch_has_no_times(self):
+        context = _context(2, disabled={(0, 0), (0, 1), (1, 0)})
+        batch = get_traffic("poisson").generate(context, 10, seed=1)
+        assert len(batch) == 0
+        assert batch.inject_time is None
+
+    def test_option_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            PoissonArrivalOptions(rate=0.0)
+        with pytest.raises(ValueError, match="burst"):
+            BurstyArrivalOptions(burst=0)
+        assert issubclass(BurstyArrivalOptions, ArrivalOptions)
+
+    def test_nested_arrival_rejected(self):
+        context = _context(8)
+        with pytest.raises(ValueError, match="nest"):
+            get_traffic("poisson").generate(context, 10, seed=1, pattern="bursty")
+
+    def test_spatial_options_forwarded(self):
+        context = _context(16)
+        batch = get_traffic("poisson").generate(
+            context,
+            500,
+            seed=6,
+            pattern="nearest-neighbour",
+            pattern_options=NearestNeighbourOptions(radius=2),
+        )
+        for (sx, sy), (dx, dy) in batch.pairs():
+            assert 0 < abs(sx - dx) + abs(sy - dy) <= 2
