@@ -37,6 +37,7 @@ if __package__ in (None, ""):  # allow running straight from a checkout
 
 import numpy as np
 
+from repro._array_ops import active_backend_key
 from repro.core.mfp import build_minimum_polygons
 from repro.distributed.dmfp import build_minimum_polygons_distributed
 from repro.faults.scenario import generate_scenario
@@ -290,6 +291,7 @@ def main(argv=None) -> int:
             "python": platform.python_version(),
             "numpy": np.__version__,
             "scipy": scipy_version,
+            "array_backend": active_backend_key(),
         },
     }
     args.out.parent.mkdir(parents=True, exist_ok=True)

@@ -60,7 +60,12 @@ STATS_FIELDS = (
 
 
 def stats_fields(stats) -> dict:
-    return {field: getattr(stats, field) for field in STATS_FIELDS}
+    fields = {field: getattr(stats, field) for field in STATS_FIELDS}
+    # The effective array backend is part of the compared record: a
+    # reference produced under one backend cannot silently pass the
+    # ``--compare`` guard of a run under another.
+    fields["array_backend"] = stats.backend
+    return fields
 
 
 def bench_pattern(

@@ -67,6 +67,7 @@ def bench_pattern(session: MeshSession, traffic: str, messages: int, seed: int) 
         "routing_seconds": routing_s,
         "messages_per_second": stats.attempted / routing_s if routing_s else 0.0,
         "engine": stats.engine,
+        "array_backend": stats.backend,
     }
     print(
         f"{traffic:>18} delivery {stats.delivery_rate:6.3f}   "

@@ -173,6 +173,21 @@ _DEPRECATED = {
 }
 
 
+def array_backends():
+    """Registered array-backend key -> whether it can run here (probed lazily).
+
+    The hot primitives (mask labelling/hulls, routing-engine scans, netsim
+    arbitration) dispatch through the pluggable backend registry of
+    :mod:`repro._array_ops`, selected by ``REPRO_ARRAY_BACKEND`` /
+    :func:`repro.api.use_backend`.  Calling this probes the optional
+    dependencies (importing numba/cupy when installed); a plain ``import
+    repro`` never does -- numpy-only users pay no import-time JIT cost.
+    """
+    from repro._array_ops import backend_status
+
+    return backend_status()
+
+
 def __getattr__(name):
     """Resolve deprecated top-level names lazily, with a warning."""
     if name in _DEPRECATED:
@@ -242,6 +257,7 @@ __all__ = [
     "get_traffic",
     "available_traffic",
     "register_traffic",
+    "array_backends",
     # core constructions (result types and analysis helpers)
     "apply_labelling_scheme_1",
     "apply_labelling_scheme_2",

@@ -29,6 +29,13 @@ On top of the routing facade sits the network simulator of
 contention, latency / saturation verdicts, with the ``array`` / ``scalar``
 simulator registry switched by ``REPRO_NETSIM``.
 
+Underneath all of it, the hot array primitives (labelling, span fills,
+jump-table scans, traversal windows, netsim arbitration) dispatch through
+the pluggable backend registry of :mod:`repro._array_ops` --
+``REPRO_ARRAY_BACKEND`` / :func:`use_backend` / ``backend=...`` per call
+-- with ``numpy`` (default), JIT-compiled ``numba`` (graceful fallback),
+``loops`` (differential reference) and a gated ``cupy`` stub.
+
 Quickstart::
 
     from repro.api import MeshSession, SweepExecutor, get_construction
@@ -47,6 +54,19 @@ Quickstart::
     )
 """
 
+from repro._array_ops import (
+    ArrayOps,
+    BackendSpec,
+    active_backend_key,
+    available_backends,
+    backend_keys,
+    backend_status,
+    default_backend,
+    get_backend,
+    register_backend,
+    set_default_backend,
+    use_backend,
+)
 from repro.api.registry import (
     ConstructionOptions,
     ConstructionResult,
@@ -163,6 +183,18 @@ __all__ = [
     "register_traffic",
     "traffic_keys",
     "available_traffic",
+    # array-backend registry
+    "ArrayOps",
+    "BackendSpec",
+    "active_backend_key",
+    "get_backend",
+    "register_backend",
+    "backend_keys",
+    "available_backends",
+    "backend_status",
+    "default_backend",
+    "set_default_backend",
+    "use_backend",
     # engine registry
     "EngineSpec",
     "get_engine",

@@ -45,7 +45,7 @@ runs a whole routing experiment from registry keys alone::
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.api.registry import (
     ConstructionOptions,
@@ -132,7 +132,9 @@ class MeshSession:
         # its router caches are keyed by the session version, so add_faults
         # invalidates them without an explicit hook.
         self._routing = None
-        self.cache_info: Dict[str, int] = {
+        # Int hit/miss counters, plus the "array_backend" provenance string
+        # the routing facade maintains.
+        self.cache_info: Dict[str, Any] = {
             "result_hits": 0,
             "result_misses": 0,
             "component_hits": 0,

@@ -21,6 +21,10 @@ schemes in :mod:`repro.core.labelling`:
   instead; both paths are canonicalised to the same deterministic label
   order (ascending lexicographic minimum node), so results are
   bit-identical to the BFS oracle in :mod:`repro.core.components`.
+  The labelling, span-fill and hull primitives dispatch through the
+  pluggable array-backend facade (:mod:`repro._array_ops`,
+  ``REPRO_ARRAY_BACKEND``), so a JIT backend accelerates them without
+  touching this module.
 * **Orthogonal convexity / hull** (:func:`is_convex_mask`,
   :func:`span_violations`, :func:`hull_mask`): per-row and per-column
   occupied spans are computed with two ``argmax`` sweeps; a region is
@@ -46,12 +50,8 @@ from typing import FrozenSet, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro import _array_ops
 from repro.types import Coord
-
-try:  # pragma: no cover - exercised implicitly depending on the environment
-    from scipy import ndimage as _ndimage
-except ImportError:  # pragma: no cover
-    _ndimage = None
 
 _shift_impl = None
 
@@ -203,40 +203,15 @@ def mask_to_frozenset(
 
 
 def _propagate_labels(mask: np.ndarray, offsets) -> np.ndarray:
-    """Minimum-label propagation over *mask* using shifted-array minima."""
-    width, height = mask.shape
-    sentinel = width * height
-    labels = np.where(
-        mask, np.arange(sentinel, dtype=np.int64).reshape(width, height), sentinel
-    )
-    while True:
-        best = labels
-        for dx, dy in offsets:
-            best = np.minimum(best, _shift(labels, dx, dy, wrap=False, fill=sentinel))
-        best = np.where(mask, best, sentinel)
-        if np.array_equal(best, labels):
-            break
-        labels = best
-    return labels
+    """Minimum-label propagation over *mask* (numpy reference; see
+    :func:`repro._array_ops.propagate_labels`)."""
+    return _array_ops.propagate_labels(mask, offsets)
 
 
 def _canonicalise(labels: np.ndarray, count: int) -> np.ndarray:
-    """Relabel 1..count in ascending order of each component's first cell.
-
-    The first cell of a component in a C-order scan of the ``[x, y]`` array
-    is its lexicographically smallest node, so the canonical order matches
-    the discovery order of the BFS oracles (sorted seed nodes).
-    """
-    if count == 0:
-        return labels
-    flat = labels.ravel()
-    occupied = np.flatnonzero(flat)
-    first = np.full(count + 1, flat.size, dtype=np.int64)
-    np.minimum.at(first, flat[occupied], occupied)
-    order = np.argsort(first[1:], kind="stable")
-    remap = np.zeros(count + 1, dtype=np.int32)
-    remap[order + 1] = np.arange(1, count + 1, dtype=np.int32)
-    return remap[labels]
+    """Relabel 1..count in ascending order of each component's first cell
+    (see :func:`repro._array_ops.canonicalise_labels`)."""
+    return _array_ops.canonicalise_labels(labels, count)
 
 
 def label_mask(mask: np.ndarray, connectivity: int = 8) -> Tuple[np.ndarray, int]:
@@ -256,24 +231,14 @@ def label_mask(mask: np.ndarray, connectivity: int = 8) -> Tuple[np.ndarray, int
     xs, ys = np.nonzero(mask)
     if xs.size == 0:
         return out, 0
-    # Work on the tight bounding box of the occupied cells: the propagation
-    # (and scipy) cost scales with the box area, not the full grid.
+    # Work on the tight bounding box of the occupied cells: the labelling
+    # cost scales with the box area, not the full grid.
     x0, x1 = int(xs.min()), int(xs.max())
     y0, y1 = int(ys.min()), int(ys.max())
-    sub = mask[x0 : x1 + 1, y0 : y1 + 1]
-    if _ndimage is not None:
-        structure = np.ones((3, 3), dtype=bool) if connectivity == 8 else None
-        raw, count = _ndimage.label(sub, structure=structure)
-        raw = raw.astype(np.int32, copy=False)
-    else:
-        offsets = _OFFSETS_8 if connectivity == 8 else _OFFSETS_4
-        propagated = _propagate_labels(sub, offsets)
-        roots = np.unique(propagated[sub])
-        count = int(roots.size)
-        raw = np.zeros(sub.shape, dtype=np.int32)
-        raw[sub] = np.searchsorted(roots, propagated[sub]) + 1
-    out[x0 : x1 + 1, y0 : y1 + 1] = _canonicalise(raw, count)
-    return out, count
+    sub = np.ascontiguousarray(mask[x0 : x1 + 1, y0 : y1 + 1])
+    labels, count = _array_ops.active_ops().label_components(sub, connectivity)
+    out[x0 : x1 + 1, y0 : y1 + 1] = labels
+    return out, int(count)
 
 
 def grouped_nonzero(
@@ -309,36 +274,10 @@ def nonconvex_labels(labels: np.ndarray, count: int) -> np.ndarray:
     """
     if count == 0:
         return np.zeros(0, dtype=np.int64)
-    xs, ys = np.nonzero(labels)
-    lab = labels[xs, ys]
-    order = np.argsort(lab, kind="stable")  # -> sorted by (label, x, y)
-    lab_c, xs_c, ys_c = lab[order], xs[order], ys[order]
-    same_col = (lab_c[1:] == lab_c[:-1]) & (xs_c[1:] == xs_c[:-1])
-    col_gaps = same_col & (ys_c[1:] - ys_c[:-1] != 1)
-    order = np.lexsort((xs, ys, lab))  # -> sorted by (label, y, x)
-    lab_r, xs_r, ys_r = lab[order], xs[order], ys[order]
-    same_row = (lab_r[1:] == lab_r[:-1]) & (ys_r[1:] == ys_r[:-1])
-    row_gaps = same_row & (xs_r[1:] - xs_r[:-1] != 1)
-    return np.unique(np.concatenate((lab_c[1:][col_gaps], lab_r[1:][row_gaps])))
+    return _array_ops.active_ops().nonconvex_labels(labels, count)
 
 
 # -- orthogonal convexity ------------------------------------------------------------
-
-
-def _span_fill_axis(mask: np.ndarray, axis: int) -> np.ndarray:
-    """Fill, along *axis*, every cell between the first and last occupied."""
-    n = mask.shape[axis]
-    occupied = mask.any(axis=axis)
-    first = mask.argmax(axis=axis)
-    if axis == 1:
-        last = n - 1 - mask[:, ::-1].argmax(axis=1)
-        index = np.arange(n)
-        span = (index[None, :] >= first[:, None]) & (index[None, :] <= last[:, None])
-        return span & occupied[:, None]
-    last = n - 1 - mask[::-1, :].argmax(axis=0)
-    index = np.arange(n)
-    span = (index[:, None] >= first[None, :]) & (index[:, None] <= last[None, :])
-    return span & occupied[None, :]
 
 
 def span_fill(mask: np.ndarray) -> np.ndarray:
@@ -350,7 +289,7 @@ def span_fill(mask: np.ndarray) -> np.ndarray:
     """
     if mask.size == 0:
         return mask.copy()
-    return _span_fill_axis(mask, 0) | _span_fill_axis(mask, 1)
+    return _array_ops.active_ops().span_fill(mask)
 
 
 def span_violations(mask: np.ndarray) -> np.ndarray:
@@ -369,12 +308,7 @@ def hull_mask(mask: np.ndarray) -> np.ndarray:
     """The minimum orthogonal convex hull of *mask* (span-fill fixed point)."""
     if mask.size == 0:
         return mask.copy()
-    current = mask
-    while True:
-        filled = span_fill(current)
-        if np.array_equal(filled, current):
-            return filled
-        current = filled
+    return _array_ops.active_ops().hull_fixpoint(mask)
 
 
 # -- morphology: rings and perimeters ------------------------------------------------

@@ -32,7 +32,10 @@ scalar routing engine):
   change in between.
 
 The array simulator keeps message state in NumPy arrays and resolves each
-cycle's arbitration with one lexsort over ``(channel, message index)``; the
+cycle's arbitration through the pluggable array-backend facade
+(:func:`repro._array_ops.active_ops`): one lexsort over ``(channel,
+message index)`` on the numpy backend, a JIT-compiled combined-key sort on
+the numba backend; the
 scalar oracle walks plain dictionaries message by message.  Keeping the
 oracle around (selectable via ``REPRO_NETSIM=scalar``) pins down the
 contract the fast path must honour.
@@ -44,6 +47,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import _array_ops
 from repro.netsim.plan import SimPlan
 
 
@@ -81,6 +85,7 @@ def simulate_array(plan: SimPlan, max_cycles: int) -> SimOutcome:
     pointer = 0
     t = 0
     deadlocked = False
+    grant_messages = _array_ops.active_ops().grant_messages
     while t < max_cycles:
         new_pointer = int(np.searchsorted(sorted_inject, t, side="right"))
         if new_pointer > pointer:
@@ -97,15 +102,9 @@ def simulate_array(plan: SimPlan, max_cycles: int) -> SimOutcome:
                 break
             t = min(int(sorted_inject[pointer]), max_cycles)
             continue
-        requested = nxt[active]
-        # Sort by (channel, message index): the first row of each channel
-        # group is that channel's lowest-index requester.
-        perm = np.lexsort((active, requested))
-        sorted_requests = requested[perm]
-        leader = np.ones(sorted_requests.size, dtype=bool)
-        leader[1:] = sorted_requests[1:] != sorted_requests[:-1]
-        grantable = leader & ~occupied[sorted_requests]
-        granted = active[perm[grantable]]
+        # Arbitration is an array-backend primitive: each free channel
+        # grants its lowest-index requester (losers stall in place).
+        granted = grant_messages(nxt[active], active, occupied)
         if granted.size == 0:
             if pointer >= n:
                 deadlocked = True

@@ -39,6 +39,9 @@ class NetSimStats:
     arrival: str = ""
     router: str = ""
     sim: str = ""
+    #: Effective array-backend key (:mod:`repro._array_ops`) the run
+    #: dispatched to; provenance -- backends are asserted bit-identical.
+    backend: str = ""
 
     # -- run configuration -----------------------------------------------------------
     #: Offered load in messages per node per cycle.

@@ -68,6 +68,7 @@ from typing import (
 
 import numpy as np
 
+from repro import _array_ops
 from repro._registry import SpecRegistry
 from repro.geometry.boundary import boundary_ring
 from repro.geometry.rectangle import bounding_rectangle
@@ -143,25 +144,9 @@ class JumpTables:
 
     @classmethod
     def from_disabled(cls, disabled: np.ndarray) -> "JumpTables":
-        """Build the four tables with one accumulate scan each."""
-        width, height = disabled.shape
-        xs = np.arange(width, dtype=np.int64)[:, None]
-        ys = np.arange(height, dtype=np.int64)[None, :]
-        blocked_x = np.where(disabled, xs, width)
-        at_or_east = np.minimum.accumulate(blocked_x[::-1], axis=0)[::-1]
-        east = np.vstack([at_or_east[1:], np.full((1, height), width, dtype=np.int64)])
-        blocked_x = np.where(disabled, xs, -1)
-        at_or_west = np.maximum.accumulate(blocked_x, axis=0)
-        west = np.vstack([np.full((1, height), -1, dtype=np.int64), at_or_west[:-1]])
-        blocked_y = np.where(disabled, ys, height)
-        at_or_north = np.minimum.accumulate(blocked_y[:, ::-1], axis=1)[:, ::-1]
-        north = np.hstack(
-            [at_or_north[:, 1:], np.full((width, 1), height, dtype=np.int64)]
-        )
-        blocked_y = np.where(disabled, ys, -1)
-        at_or_south = np.maximum.accumulate(blocked_y, axis=1)
-        south = np.hstack(
-            [np.full((width, 1), -1, dtype=np.int64), at_or_south[:, :-1]]
+        """Build the four tables through the active array backend."""
+        east, west, north, south = _array_ops.active_ops().jump_tables(
+            np.ascontiguousarray(disabled)
         )
         return cls(east=east, west=west, north=north, south=south)
 
@@ -536,41 +521,29 @@ def _scan_lanes(
     clear -- :meth:`ExtendedECubeRouter._passed_region` semantics) and
     the first failure position (node off the mesh or inside another
     region).  Lanes beyond a row's own ring length are masked out.
+
+    The scan itself is an array-backend primitive
+    (:attr:`repro._array_ops.ArrayOps.scan_lanes`): the numpy backend
+    materialises the padded ``(rows x lanes)`` matrix and argmax-reduces
+    it; the numba backend walks each row's lanes with early exit.
     """
-    lanes = np.arange(lane_lo + 1, lane_hi + 1, dtype=np.int64)
-    row_length = lengths[:, None]
-    relative = (entry[:, None] + step[:, None] * lanes[None, :]) % row_length
-    index = starts[:, None] + relative
-    in_ring = lanes[None, :] <= row_length
-    node_x = packed.ring_x[index]
-    node_y = packed.ring_y[index]
-    live = packed.valid[index]
-    dxc = dest_x[:, None]
-    dyc = dest_y[:, None]
-    # ``_passed_region``: the geometric half is precomputed per ring node
-    # as one bit per message type; the destination half compares the x
-    # coordinate for WE/EW rows and the y coordinate for SN/NS rows.
-    geo = (packed.geo_bits[index] >> message_type[:, None]) & 1 != 0
-    passed = geo | np.where(
-        message_type[:, None] <= MT_EW, node_x == dxc, node_y == dyc
-    )
-    # Vectorized ``ecube_next_hop(node, destination)``: the follow-up hop
-    # is clear when the node *is* the destination or its next e-cube cell
-    # is enabled.  Off-mesh lanes are masked by ``live``; the min/max
-    # only keeps their gather in bounds.
-    step_x = np.sign(dxc - node_x)
-    step_y = np.where(step_x == 0, np.sign(dyc - node_y), 0)
-    follow_x = np.minimum(np.maximum(node_x + step_x, 0), packed.shape[0] - 1)
-    follow_y = np.minimum(np.maximum(node_y + step_y, 0), packed.shape[1] - 1)
-    at_destination = (step_x == 0) & (step_y == 0)
-    clear = at_destination | ~disabled[follow_x, follow_y]
-    exit_ok = live & passed & clear & in_ring
-    failed = ~live & in_ring
-    return (
-        exit_ok.any(axis=1),
-        lane_lo + 1 + exit_ok.argmax(axis=1),
-        failed.any(axis=1),
-        lane_lo + 1 + failed.argmax(axis=1),
+    return _array_ops.active_ops().scan_lanes(
+        packed.ring_x,
+        packed.ring_y,
+        packed.valid,
+        packed.geo_bits,
+        packed.shape[0],
+        packed.shape[1],
+        disabled,
+        message_type,
+        step,
+        entry,
+        dest_x,
+        dest_y,
+        lengths,
+        starts,
+        lane_lo,
+        lane_hi,
     )
 
 

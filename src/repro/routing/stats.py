@@ -79,6 +79,12 @@ class RoutingStats:
     #: empty for contention-free routing).  Like ``engine``, provenance:
     #: the simulators are asserted bit-identical.
     sim: str = ""
+    #: Effective array-backend key (:mod:`repro._array_ops`) the run's hot
+    #: primitives dispatched to (``"numpy"`` / ``"numba"`` / ...; empty for
+    #: ad-hoc accumulation).  Provenance like ``engine``/``sim``: backends
+    #: are asserted bit-identical, and a backend that fell back (numba
+    #: without numba installed) reports the backend that actually ran.
+    backend: str = ""
     #: Cached deadlock-freedom verdict (filled by :meth:`deadlock_free`).
     _deadlock_free: Optional[bool] = field(default=None, repr=False)
 

@@ -248,10 +248,12 @@ class TestKernelUtilities:
         assert labels[5, 0] == 2
 
     def test_propagation_fallback_matches_scipy_path(self, monkeypatch):
+        from repro import _array_ops
+
         rng = np.random.default_rng(0)
         mask = rng.random((20, 20)) < 0.35
         with_scipy = masks.label_mask(mask, connectivity=8)
-        monkeypatch.setattr(masks, "_ndimage", None)
+        monkeypatch.setattr(_array_ops, "_ndimage", None)
         without_scipy = masks.label_mask(mask, connectivity=8)
         assert np.array_equal(with_scipy[0], without_scipy[0])
         assert with_scipy[1] == without_scipy[1]
