@@ -116,11 +116,14 @@ from repro.routing.engine import (
     EngineSpec,
     available_engines,
     default_engine,
+    engine_deltas_enabled,
     engine_keys,
     get_engine,
     register_engine,
     set_default_engine,
+    set_engine_deltas,
     use_engine,
+    use_engine_deltas,
 )
 from repro.routing.registry import (
     RouterOptions,
@@ -204,6 +207,9 @@ __all__ = [
     "default_engine",
     "set_default_engine",
     "use_engine",
+    "engine_deltas_enabled",
+    "set_engine_deltas",
+    "use_engine_deltas",
     # network simulator facade + registry
     "NetSimSession",
     "NetSimStats",

@@ -51,7 +51,12 @@ import numpy as np
 
 from repro import _array_ops
 from repro.api.registry import ConstructionOptions
-from repro.routing.engine import RegionRingCache, resolve_engine
+from repro.routing.engine import (
+    RegionRingCache,
+    engine_deltas_enabled,
+    resolve_engine,
+    transplant_engine_state,
+)
 from repro.routing.registry import RouterOptions, get_router
 from repro.routing.stats import RoutingStats
 from repro.routing.traffic import TrafficContext, TrafficOptions, get_traffic
@@ -82,6 +87,11 @@ class RoutingSession:
         session.cache_info.setdefault("router_misses", 0)
         session.cache_info.setdefault("ring_hits", 0)
         session.cache_info.setdefault("ring_misses", 0)
+        # Engine-state rebuild observability: full jump-table builds, full
+        # ring packs, and fault-delta transplants that avoided them.
+        session.cache_info.setdefault("jump_rebuilds", 0)
+        session.cache_info.setdefault("ring_rebuilds", 0)
+        session.cache_info.setdefault("delta_applies", 0)
         # The effective array backend of the session's last routed /
         # simulated batch (ambient selection until one runs).
         session.cache_info.setdefault("array_backend", _array_ops.active_backend_key())
@@ -133,6 +143,18 @@ class RoutingSession:
             attach = getattr(router_obj, "attach_ring_cache", None)
             if attach is not None:
                 attach(self._ring_cache)
+            attach_counters = getattr(router_obj, "attach_counters", None)
+            if attach_counters is not None:
+                attach_counters(self._session.cache_info)
+            # A fault update invalidated the previous router for this key:
+            # instead of rebuilding its engine state (jump tables, packed
+            # rings) from scratch, delta-patch it from the predecessor --
+            # only the touched rows/columns/regions are re-derived.
+            # REPRO_ENGINE_DELTAS=0 / use_engine_deltas(False) restores
+            # the full-rebuild behaviour (the differential oracle).
+            if cached is not None and engine_deltas_enabled():
+                if transplant_engine_state(cached[1], router_obj):
+                    self._session.cache_info["delta_applies"] += 1
             self._routers[key] = (version, router_obj)
         cached_context = self._contexts.get(key)
         if cached_context is not None and cached_context[0] == version:

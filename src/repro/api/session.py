@@ -66,6 +66,7 @@ from repro.core.mfp import (
 from repro.distributed.dmfp import ComponentConstruction, assemble_distributed
 from repro.distributed.notification import plan_notifications
 from repro.distributed.ring import construct_boundary_ring
+from repro.faults.links import links_to_node_faults, make_link_fault_set
 from repro.faults.scenario import FaultScenario
 from repro.geometry import masks
 from repro.geometry.boundary import eight_neighbours
@@ -145,8 +146,15 @@ class MeshSession:
 
     @classmethod
     def from_scenario(cls, scenario: FaultScenario) -> "MeshSession":
-        """Create a session preloaded with a generated scenario."""
-        return cls(topology=scenario.topology(), faults=scenario.faults)
+        """Create a session preloaded with a generated scenario.
+
+        Scenario link faults (if any) are applied after the node faults via
+        the conservative endpoint mapping of :mod:`repro.faults.links`.
+        """
+        session = cls(topology=scenario.topology(), faults=scenario.faults)
+        if scenario.link_faults:
+            session.add_link_faults(scenario.link_faults)
+        return session
 
     # -- state ---------------------------------------------------------------------
 
@@ -233,6 +241,85 @@ class MeshSession:
             self._version += 1
             self._components = None
         return added
+
+    def remove_fault(self, node: Coord) -> bool:
+        """Repair a single fault; returns ``False`` if not currently faulty."""
+        return bool(self.remove_faults([node]))
+
+    def remove_faults(self, nodes: Iterable[Coord]) -> List[Coord]:
+        """Repair a batch of faults, re-splitting components incrementally.
+
+        The inverse of :meth:`add_faults`: positions that are not currently
+        faulty are skipped, and the list of actually repaired positions is
+        returned.  Only the components that lost a member are revisited --
+        each is re-partitioned by a flood fill over its *remaining* members
+        under the paper's 8-adjacency, since removing a cut node can split
+        one component into several.  Untouched components (and therefore
+        their cached polygons, rounds and rings) survive unchanged.
+        """
+        batch: List[Coord] = []
+        for node in nodes:
+            node = (int(node[0]), int(node[1]))
+            self._topology.validate(node)
+            batch.append(node)
+        removed: List[Coord] = []
+        affected: Set[int] = set()
+        for node in batch:
+            if node not in self._fault_set:
+                continue
+            self._fault_set.discard(node)
+            removed.append(node)
+            comp_id = self._comp_of.pop(node)
+            self._members[comp_id].discard(node)
+            affected.add(comp_id)
+        if not removed:
+            return removed
+        for comp_id in affected:
+            survivors = self._members.pop(comp_id)
+            self._frozen_members.pop(comp_id, None)
+            self._comp_min.pop(comp_id, None)
+            # Flood-fill the survivors into (possibly several) fresh
+            # components; fresh ids are fine because components() orders by
+            # minimal node, not id.
+            while survivors:
+                seed = survivors.pop()
+                piece = {seed}
+                frontier = [seed]
+                while frontier:
+                    current = frontier.pop()
+                    for neighbour in eight_neighbours(current):
+                        if neighbour in survivors:
+                            survivors.discard(neighbour)
+                            piece.add(neighbour)
+                            frontier.append(neighbour)
+                new_id = self._next_comp_id
+                self._next_comp_id += 1
+                self._members[new_id] = piece
+                self._comp_min[new_id] = min(piece)
+                for member in piece:
+                    self._comp_of[member] = new_id
+        self._faults = [f for f in self._faults if f in self._fault_set]
+        self._version += 1
+        self._components = None
+        return removed
+
+    def add_link_faults(
+        self, links: Iterable[Sequence[Coord]], *, prefer_lower: bool = True
+    ) -> List[Coord]:
+        """Inject link faults via the conservative node-fault mapping.
+
+        Each faulty link is mapped onto one of its endpoints by
+        :func:`repro.faults.links.links_to_node_faults` (nodes already
+        faulty absorb their links for free), and the chosen endpoints are
+        injected through :meth:`add_faults`.  Returns the list of newly
+        faulty node positions (possibly empty, when every link already
+        touches a faulty node).
+        """
+        fault_set = make_link_fault_set(self._topology, links)
+        mapped = links_to_node_faults(
+            fault_set, self._fault_set, prefer_lower=prefer_lower
+        )
+        return self.add_faults(n for n in mapped if n not in self._fault_set)
 
     def clear(self) -> None:
         """Drop all faults and every cached artefact."""

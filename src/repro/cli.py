@@ -37,6 +37,18 @@ command resolves its fault-region models through the construction registry
     throughput / saturation table.  ``--sim`` picks the simulator
     (``array`` / ``scalar``; bit-identical, like ``--engine``).
 
+``repro-mesh serve``
+    Start the long-lived routing daemon (:mod:`repro.serve`) on one
+    generated fault pattern: route queries over newline-delimited JSON,
+    micro-batched into single engine calls, with fault churn applied as
+    incremental engine deltas (``REPRO_ENGINE_DELTAS``).
+
+``repro-mesh query``
+    Client of a running daemon: route explicit or random pairs, stream
+    fault/repair/link-fault updates, print the ``status`` payload or
+    request a graceful shutdown; ``--wait`` retries the connection while
+    a freshly started daemon binds its port.
+
 ``repro-mesh verify``
     Run the construction verification suite on a generated fault pattern.
 
@@ -51,9 +63,11 @@ also executable directly: ``python -m repro.cli ...``.
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
 import os
 import sys
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro._array_ops import active_backend_key
 from repro.api import (
@@ -315,6 +329,133 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    backend = _apply_backend(args)
+    scenario, session = _session_from(args)
+    # Imported lazily: the serving layer is optional machinery on top of
+    # the session API.
+    from repro.serve import RouteDaemon
+
+    daemon = RouteDaemon(
+        session,
+        construction=args.model,
+        router=args.router,
+        engine=None if args.engine == "auto" else args.engine,
+        window=args.window,
+        max_batch=args.max_batch,
+        host=args.host,
+        port=args.port,
+    )
+
+    async def run() -> None:
+        host, port = await daemon.start()
+        print(f"scenario: {scenario.describe()}")
+        print(
+            f"serving on {host}:{port} (model: {args.model}, router: "
+            f"{args.router}, engine: {args.engine}, backend: {backend}, "
+            f"window: {args.window * 1000:.3g} ms, max-batch: {args.max_batch})",
+            flush=True,
+        )
+        await daemon.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    print("daemon stopped", flush=True)
+    return 0
+
+
+def _parse_csv_ints(text: str, arity: int, what: str) -> Tuple[int, ...]:
+    parts = text.replace(":", ",").split(",")
+    if len(parts) != arity:
+        raise SystemExit(f"bad {what} {text!r}: expected {arity} integers")
+    try:
+        return tuple(int(p) for p in parts)
+    except ValueError:
+        raise SystemExit(f"bad {what} {text!r}: expected integers")
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient, ServeError
+
+    async def run() -> int:
+        client = ServeClient(args.host, args.port)
+        deadline = asyncio.get_running_loop().time() + args.wait
+        while True:
+            try:
+                await client.connect()
+                break
+            except OSError:
+                if asyncio.get_running_loop().time() >= deadline:
+                    print(
+                        f"could not connect to {args.host}:{args.port}",
+                        file=sys.stderr,
+                    )
+                    return 1
+                await asyncio.sleep(0.1)
+        try:
+            if args.add_faults:
+                nodes = [_parse_csv_ints(n, 2, "node") for n in args.add_faults]
+                payload = await client.add_faults(nodes)
+                print(json.dumps(payload))
+            if args.repair:
+                nodes = [_parse_csv_ints(n, 2, "node") for n in args.repair]
+                payload = await client.repair(nodes)
+                print(json.dumps(payload))
+            if args.add_link_faults:
+                links = []
+                for text in args.add_link_faults:
+                    x1, y1, x2, y2 = _parse_csv_ints(text, 4, "link")
+                    links.append(((x1, y1), (x2, y2)))
+                payload = await client.add_link_faults(links)
+                print(json.dumps(payload))
+            pairs: List[List[int]] = [
+                list(_parse_csv_ints(p, 4, "pair")) for p in args.pairs or ()
+            ]
+            if args.random:
+                import numpy as np
+
+                status = await client.status()
+                width = status["mesh"]["width"]
+                height = status["mesh"]["height"]
+                rng = np.random.default_rng(args.seed)
+                for _ in range(args.random):
+                    sx, dx = (int(v) for v in rng.integers(0, width, size=2))
+                    sy, dy = (int(v) for v in rng.integers(0, height, size=2))
+                    pairs.append([sx, sy, dx, dy])
+            if pairs:
+                payload = await client.route(pairs)
+                routes = payload["routes"]
+                delivered = sum(1 for r in routes if r["delivered"])
+                hops = sum(r["hops"] for r in routes if r["delivered"])
+                print(
+                    f"routed {len(routes)} pairs: {delivered} delivered "
+                    f"({delivered / len(routes):.3f}), "
+                    f"mean hops {hops / delivered if delivered else 0.0:.2f}, "
+                    f"engine {payload['engine']}, version {payload['version']}"
+                )
+                if args.verbose:
+                    for pair, route in zip(pairs, routes):
+                        print(f"  {pair}: {json.dumps(route)}")
+            if args.status or not (
+                pairs or args.add_faults or args.repair
+                or args.add_link_faults or args.shutdown
+            ):
+                print(json.dumps(await client.status(), indent=2, sort_keys=True))
+            if args.shutdown:
+                await client.shutdown()
+                print("shutdown requested")
+            return 0
+        except ServeError as exc:
+            print(f"daemon error: {exc}", file=sys.stderr)
+            return 1
+        finally:
+            await client.close()
+
+    return asyncio.run(run())
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     if args.key:
         print(get_experiment(args.key).describe())
@@ -469,6 +610,97 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_argument(simulate)
     simulate.set_defaults(func=cmd_simulate)
+
+    serve = subparsers.add_parser(
+        "serve", help="start the long-lived routing daemon (repro.serve)"
+    )
+    _add_scenario_arguments(serve)
+    serve.add_argument(
+        "--model",
+        choices=CONSTRUCT_KEYS,
+        default="mfp",
+        help="fault-region construction to serve routes over",
+    )
+    serve.add_argument(
+        "--router",
+        choices=router_keys(),
+        default="extended-ecube",
+        help="router (router registry key)",
+    )
+    serve.add_argument(
+        "--engine",
+        choices=("auto",) + engine_keys(),
+        default="auto",
+        help="routing engine of the coalesced batches",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=7654, help="bind port (0 picks a free port)"
+    )
+    serve.add_argument(
+        "--window",
+        type=float,
+        default=0.001,
+        help="coalescing window in seconds (time the first buffered request "
+        "waits for company)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=256,
+        help="flush once this many pairs are buffered (1 disables coalescing)",
+    )
+    _add_backend_argument(serve)
+    serve.set_defaults(func=cmd_serve)
+
+    query = subparsers.add_parser(
+        "query", help="query or mutate a running routing daemon"
+    )
+    query.add_argument("--host", default="127.0.0.1", help="daemon address")
+    query.add_argument("--port", type=int, default=7654, help="daemon port")
+    query.add_argument(
+        "--wait",
+        type=float,
+        default=0.0,
+        help="retry the connection for up to this many seconds (daemon "
+        "start-up grace)",
+    )
+    query.add_argument(
+        "--pairs",
+        nargs="+",
+        metavar="SX,SY,DX,DY",
+        help="route explicit endpoint pairs",
+    )
+    query.add_argument(
+        "--random",
+        type=int,
+        default=0,
+        metavar="N",
+        help="route N random pairs drawn inside the daemon's mesh",
+    )
+    query.add_argument("--seed", type=int, default=0, help="seed of --random")
+    query.add_argument(
+        "--add-faults", nargs="+", metavar="X,Y", help="inject node faults"
+    )
+    query.add_argument(
+        "--repair", nargs="+", metavar="X,Y", help="repair node faults"
+    )
+    query.add_argument(
+        "--add-link-faults",
+        nargs="+",
+        metavar="X1,Y1:X2,Y2",
+        help="inject link faults (mapped onto endpoint node faults)",
+    )
+    query.add_argument(
+        "--status", action="store_true", help="print the daemon status payload"
+    )
+    query.add_argument(
+        "--shutdown", action="store_true", help="request a graceful shutdown"
+    )
+    query.add_argument(
+        "--verbose", action="store_true", help="print one line per routed pair"
+    )
+    query.set_defaults(func=cmd_query)
 
     verify = subparsers.add_parser(
         "verify", help="run the construction verification suite"

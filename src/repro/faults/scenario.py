@@ -25,6 +25,10 @@ class FaultScenario:
 
     ``faults`` preserves the insertion order used by the sequential fault
     models; the constructions themselves only depend on the resulting set.
+    ``link_faults`` optionally carries faulty links as ``(a, b)`` endpoint
+    pairs; consumers (``MeshSession.from_scenario``) fold them into the
+    node-fault set via the conservative mapping of
+    :mod:`repro.faults.links`.
     """
 
     width: int
@@ -34,11 +38,17 @@ class FaultScenario:
     faults: Tuple[Coord, ...]
     torus: bool = False
     cluster_factor: float = 2.0
+    link_faults: Tuple[Tuple[Coord, Coord], ...] = ()
 
     @property
     def num_faults(self) -> int:
         """Number of injected faults."""
         return len(self.faults)
+
+    @property
+    def num_link_faults(self) -> int:
+        """Number of injected link faults."""
+        return len(self.link_faults)
 
     def fault_set(self) -> frozenset:
         """Return the fault positions as a frozenset."""
@@ -53,10 +63,13 @@ class FaultScenario:
     def describe(self) -> str:
         """One-line human-readable description used in experiment logs."""
         kind = "torus" if self.torus else "mesh"
-        return (
+        text = (
             f"{self.width}x{self.height} {kind}, {self.num_faults} faults, "
             f"{self.model} distribution, seed={self.seed}"
         )
+        if self.link_faults:
+            text += f", {self.num_link_faults} link faults"
+        return text
 
 
 def generate_scenario(

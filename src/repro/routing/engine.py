@@ -160,6 +160,41 @@ class JumpTables:
         """
         return np.stack([self.east, self.west, self.north, self.south])
 
+    def apply_fault_delta(
+        self, disabled: np.ndarray, changed_x: np.ndarray, changed_y: np.ndarray
+    ) -> "JumpTables":
+        """Tables for *disabled*, re-deriving only the touched lines.
+
+        ``east[x, y]`` / ``west[x, y]`` depend only on the cells of line
+        *y*, and ``north`` / ``south`` only on column *x*; a fault update
+        that changed the cells ``(changed_x, changed_y)`` therefore only
+        needs the scan re-run on those lines and columns -- the sub-array
+        ``disabled[:, ys]`` (respectively ``disabled[xs, :]``) goes
+        through the same backend primitive as a full build, so the result
+        equals :meth:`from_disabled` bit for bit (asserted by the
+        differential suite in ``tests/test_engine_deltas.py``).  The
+        untouched lines are copied from this table.
+        """
+        xs = np.unique(np.asarray(changed_x, dtype=np.int64))
+        ys = np.unique(np.asarray(changed_y, dtype=np.int64))
+        east, west, north, south = self.east, self.west, self.north, self.south
+        ops = _array_ops.active_ops()
+        if ys.size:
+            east, west = east.copy(), west.copy()
+            sub_east, sub_west, _, _ = ops.jump_tables(
+                np.ascontiguousarray(disabled[:, ys])
+            )
+            east[:, ys] = sub_east
+            west[:, ys] = sub_west
+        if xs.size:
+            north, south = north.copy(), south.copy()
+            _, _, sub_north, sub_south = ops.jump_tables(
+                np.ascontiguousarray(disabled[xs, :])
+            )
+            north[xs, :] = sub_north
+            south[xs, :] = sub_south
+        return JumpTables(east=east, west=west, north=north, south=south)
+
 
 # -- per-region ring geometry -------------------------------------------------------
 
@@ -380,6 +415,14 @@ def _pack_geo_bits(geo_passed: np.ndarray) -> np.ndarray:
     return bits
 
 
+#: One region's immutable packed-ring arrays, keyed by the region's node
+#: set: ``(ring_x, ring_y, off_mesh, geo_bits, entry_keys, entry_positions)``.
+#: Everything here depends only on the region's own shape (the validity
+#: against the surrounding disabled mask is recomputed at concatenation
+#: time), so segments survive fault deltas unchanged.
+RingSegment = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
 class PackedRings:
     """Encountered regions' ring arrays, concatenated for mixed gathers.
 
@@ -397,6 +440,15 @@ class PackedRings:
     message encounters.  The per-region geometry comes from the router's
     (possibly session-shared) :class:`RegionGeometry` objects, so ring
     walks are still reused across router rebuilds.
+
+    Internally every packed region is held as a :data:`RingSegment` keyed
+    by the region's frozen node set; the flat arrays are concatenated
+    from the segments, and the only mask-dependent part -- which ring
+    nodes a traversal may step on -- is re-gathered from the router's
+    disabled mask at concatenation time.  That split is what makes
+    :meth:`apply_fault_delta` possible: after a fault update, every
+    region whose node set survived keeps its segment (no ring walk, no
+    re-packing), and only the validity gather is recomputed.
     """
 
     __slots__ = (
@@ -411,8 +463,10 @@ class PackedRings:
         "geo_bits",
         "entry_keys",
         "entry_positions",
-        "_parts",
+        "_segments",
+        "_order",
         "_total",
+        "_dirty",
     )
 
     def __init__(self, router: Any) -> None:
@@ -422,13 +476,36 @@ class PackedRings:
         self.start = np.zeros(num_regions, dtype=np.int64)
         self.length = np.zeros(num_regions, dtype=np.int64)
         self.packed = np.zeros(num_regions, dtype=bool)
-        # (ring_x, ring_y, valid, off_mesh, geo_passed, keys, positions)
-        self._parts: Tuple[List[np.ndarray], ...] = tuple([] for _ in range(7))
+        self._segments: Dict[FrozenSet[Coord], RingSegment] = {}
+        #: ``(region index, node set)`` pairs in packing order; the index
+        #: half is only valid for this instance's router.
+        self._order: List[Tuple[int, FrozenSet[Coord]]] = []
         self._total = 0
+        #: Adopted segments whose flat arrays have not been concatenated
+        #: yet; the rebuild is deferred to the first :meth:`ensure` so a
+        #: fault delta never pays for regions no message routes through.
+        self._dirty = False
         empty = np.empty(0, dtype=np.int64)
         self.ring_x = self.ring_y = self.entry_keys = self.entry_positions = empty
         self.valid = self.off_mesh = empty.astype(bool)
         self.geo_bits = empty.astype(np.uint8)
+
+    def _segment(self, router: Any, region: int) -> RingSegment:
+        """Fetch (or build from the region geometry) one region's segment."""
+        nodes = router._regions[region]
+        segment = self._segments.get(nodes)
+        if segment is None:
+            arrays = router.region_geometry(region).arrays(*self.shape)
+            segment = (
+                arrays.ring_x,
+                arrays.ring_y,
+                ~arrays.on_mesh,
+                _pack_geo_bits(arrays.geo_passed),
+                arrays.entry_keys,
+                arrays.entry_positions,
+            )
+            self._segments[nodes] = segment
+        return segment
 
     def ensure(self, router: Any, regions: np.ndarray) -> None:
         """Append any of *regions* not packed yet and rebuild the arrays.
@@ -439,42 +516,82 @@ class PackedRings:
         """
         missing = regions[~self.packed[regions]]
         if missing.size == 0:
+            if self._dirty:
+                self._rebuild(router)
+                self._dirty = False
             return
+        for region in np.unique(missing).tolist():
+            segment = self._segment(router, region)
+            self.start[region] = self._total
+            self.length[region] = segment[0].size
+            self.packed[region] = True
+            self._order.append((region, router._regions[region]))
+            self._total += segment[0].size
+        self._rebuild(router)
+        self._dirty = False
+
+    def _rebuild(self, router: Any) -> None:
+        """Concatenate the packed segments into the kernel's flat arrays.
+
+        The entry table gets one sort to stay binary-searchable (regions
+        pack in encounter order), and the validity of every packed ring
+        node is gathered from the router's *current* disabled mask --
+        the one per-node property that depends on the other regions.
+        """
         width, height = self.shape
         cells = width * height
-        parts = self._parts
-        for region in np.unique(missing).tolist():
-            arrays = router.region_geometry(region).arrays(width, height)
-            valid, off_mesh = router.ring_validity(region)
-            self.start[region] = self._total
-            self.length[region] = len(arrays)
-            self.packed[region] = True
-            self._total += len(arrays)
-            for part, value in zip(
-                parts,
-                (
-                    arrays.ring_x,
-                    arrays.ring_y,
-                    valid,
-                    off_mesh,
-                    _pack_geo_bits(arrays.geo_passed),
-                    region * cells + arrays.entry_keys,
-                    arrays.entry_positions,
-                ),
-            ):
-                part.append(value)
-        self.ring_x = np.concatenate(parts[0])
-        self.ring_y = np.concatenate(parts[1])
-        self.valid = np.concatenate(parts[2])
-        self.off_mesh = np.concatenate(parts[3])
-        self.geo_bits = np.concatenate(parts[4])
-        keys = np.concatenate(parts[5])
-        positions = np.concatenate(parts[6])
-        # Regions append in encounter order, so the concatenated entry
-        # table needs one sort to stay binary-searchable.
+        segments = [self._segments[nodes] for _, nodes in self._order]
+        self.ring_x = np.concatenate([s[0] for s in segments])
+        self.ring_y = np.concatenate([s[1] for s in segments])
+        self.off_mesh = np.concatenate([s[2] for s in segments])
+        self.geo_bits = np.concatenate([s[3] for s in segments])
+        keys = np.concatenate(
+            [region * cells + s[4] for (region, _), s in zip(self._order, segments)]
+        )
+        positions = np.concatenate([s[5] for s in segments])
         order = np.argsort(keys)
         self.entry_keys = keys[order]
         self.entry_positions = positions[order]
+        clip_x = np.clip(self.ring_x, 0, width - 1)
+        clip_y = np.clip(self.ring_y, 0, height - 1)
+        disabled = ~router.enabled_mask
+        self.valid = ~self.off_mesh & ~disabled[clip_x, clip_y]
+
+    def apply_fault_delta(self, router: Any) -> "PackedRings":
+        """Packed rings for *router*, reusing every surviving region's segment.
+
+        Regions are matched to the new router by node-set identity: a
+        region a fault update did not touch keeps its packed ring arrays
+        (re-keyed to its possibly-shifted region index) and only pays the
+        validity gather against the new disabled mask; changed or new
+        regions pack lazily on first encounter, as always.  Segments of
+        vanished regions are dropped so long fault-churn sessions stay
+        bounded.  The concatenation itself is deferred to the first
+        :meth:`ensure`, so applying a delta is O(surviving regions) dict
+        work and routing never rebuilds arrays for regions it does not
+        touch.  The result is bit-identical to a freshly packed
+        :class:`PackedRings` over the same encounter sequence (asserted
+        by ``tests/test_engine_deltas.py``).
+        """
+        fresh = PackedRings(router)
+        index_of = {nodes: index for index, nodes in enumerate(router._regions)}
+        fresh._segments = {
+            nodes: segment
+            for nodes, segment in self._segments.items()
+            if nodes in index_of
+        }
+        for _, nodes in self._order:
+            region = index_of.get(nodes)
+            if region is None:
+                continue
+            segment = fresh._segments[nodes]
+            fresh.start[region] = fresh._total
+            fresh.length[region] = segment[0].size
+            fresh.packed[region] = True
+            fresh._order.append((region, nodes))
+            fresh._total += segment[0].size
+        fresh._dirty = bool(fresh._order)
+        return fresh
 
     def entries_of(
         self, region: np.ndarray, x: np.ndarray, y: np.ndarray
@@ -796,9 +913,7 @@ def route_batch(
 
         # -- abnormal mode: one packed traversal for the whole round ---------
         if packed is None:
-            packed = router._packed_rings
-            if packed is None:
-                packed = router._packed_rings = PackedRings(router)
+            packed = router.packed_rings()
         rows = np.nonzero(blocked)[0]
         at_x, at_y = cur_x[rows], cur_y[rows]
         go_x, go_y = to_x[rows], to_y[rows]
@@ -872,6 +987,89 @@ def route_batch(
             keep[rows[failed_rows]] = False
             compact(keep)
     return outcome
+
+
+# -- incremental engine deltas ------------------------------------------------------
+
+_engine_deltas = os.environ.get("REPRO_ENGINE_DELTAS", "1").strip().lower() not in (
+    "0",
+    "false",
+    "off",
+    "no",
+)
+
+
+def engine_deltas_enabled() -> bool:
+    """Whether fault updates delta-patch the engine state (default on)."""
+    return _engine_deltas
+
+
+def set_engine_deltas(enabled: bool) -> bool:
+    """Switch the ambient delta behaviour; returns the previous value."""
+    global _engine_deltas
+    previous = _engine_deltas
+    _engine_deltas = bool(enabled)
+    return previous
+
+
+@contextmanager
+def use_engine_deltas(enabled: bool = True):
+    """Context manager scoping the delta on/off switch.
+
+    Mirrors :func:`repro.geometry.masks.use_kernel`; the benchmarks and
+    the differential suite use it to compare delta-patched engine state
+    against full rebuilds::
+
+        with use_engine_deltas(False):
+            stats = session.route("mfp", messages=2000)   # full rebuilds
+    """
+    previous = set_engine_deltas(enabled)
+    try:
+        yield
+    finally:
+        set_engine_deltas(previous)
+
+
+def transplant_engine_state(old_router: Any, new_router: Any) -> bool:
+    """Delta-patch *new_router*'s engine state from *old_router*'s.
+
+    Called by :class:`repro.api.RoutingSession` when a fault update
+    forces a router rebuild: instead of letting the new router re-derive
+    its jump tables and packed rings from scratch, the old router's are
+    carried over with :meth:`JumpTables.apply_fault_delta` (only the
+    rows/columns containing changed cells re-scanned) and
+    :meth:`PackedRings.apply_fault_delta` (only changed regions dropped;
+    surviving rings stay packed).  Lazily-unbuilt state on the old router
+    stays unbuilt on the new one.  Returns whether anything was
+    transplanted.  The patched state is bit-identical to a full rebuild
+    -- that is the whole contract, enforced by
+    ``tests/test_engine_deltas.py`` and ``benchmarks/bench_serve.py``.
+    """
+    if type(old_router) is not type(new_router):
+        return False
+    if old_router._disabled_mask.shape != new_router._disabled_mask.shape:
+        return False
+    transplanted = False
+    old_tables = old_router._tables
+    if old_tables is not None:
+        changed_x, changed_y = np.nonzero(
+            old_router._disabled_mask != new_router._disabled_mask
+        )
+        if changed_x.size:
+            new_router._tables = old_tables.apply_fault_delta(
+                new_router._disabled_mask, changed_x, changed_y
+            )
+        else:
+            # The update happened entirely inside already-disabled regions
+            # (or re-enabled nothing the construction had kept disabled):
+            # the tables are still exact.
+            new_router._tables = old_tables
+        transplanted = True
+    old_packed = old_router._packed_rings
+    if old_packed is not None:
+        new_router._packed_rings = old_packed.apply_fault_delta(new_router)
+        transplanted = True
+    return transplanted
 
 
 # -- the engine registry ------------------------------------------------------------

@@ -139,6 +139,7 @@ class ExtendedECubeRouter:
         self._shared_rings = None
         self._tables = None
         self._packed_rings = None
+        self._counters: Optional[Dict[str, int]] = None
         self.max_hops = max_hops if max_hops is not None else 8 * (
             topology.width + topology.height
         )
@@ -216,18 +217,52 @@ class ExtendedECubeRouter:
         """
         self._shared_rings = cache
 
+    def attach_counters(self, counters: Dict[str, int]) -> None:
+        """Report engine-state rebuilds into a shared counter dict.
+
+        Called by :class:`repro.api.RoutingSession` right after building
+        a router: full :class:`~repro.routing.engine.JumpTables` builds
+        bump ``jump_rebuilds`` and fresh
+        :class:`~repro.routing.engine.PackedRings` bump ``ring_rebuilds``
+        in ``session.cache_info``, so the win of the fault-delta path
+        (``delta_applies``) is observable rather than inferred.
+        """
+        self._counters = counters
+
+    def _count(self, key: str) -> None:
+        if self._counters is not None:
+            self._counters[key] = self._counters.get(key, 0) + 1
+
     def jump_tables(self):
         """The straight-run jump tables of this router's disabled mask.
 
         Built lazily on the first route (one accumulate scan per
         direction) and shared by the scalar straight-run advance and the
-        batch engine of :mod:`repro.routing.engine`.
+        batch engine of :mod:`repro.routing.engine`.  A session rebuild
+        after ``add_faults`` normally skips this build entirely: the
+        delta path of :func:`repro.routing.engine.transplant_engine_state`
+        patches the previous router's tables instead.
         """
         if self._tables is None:
             from repro.routing.engine import JumpTables
 
             self._tables = JumpTables.from_disabled(self._disabled_mask)
+            self._count("jump_rebuilds")
         return self._tables
+
+    def packed_rings(self):
+        """The batch kernel's packed ring arrays (lazily built, cached).
+
+        Like :meth:`jump_tables`, a fresh pack only happens on the first
+        batch route of a router the delta path could not seed from a
+        predecessor.
+        """
+        if self._packed_rings is None:
+            from repro.routing.engine import PackedRings
+
+            self._packed_rings = PackedRings(self)
+            self._count("ring_rebuilds")
+        return self._packed_rings
 
     def region_geometry(self, region_index: int):
         """Boundary-ring geometry of one region (lazily resolved, cached).

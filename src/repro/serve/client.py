@@ -1,0 +1,155 @@
+"""Clients of the routing daemon: TCP and in-process, one verb surface.
+
+:class:`ServeClient` speaks the NDJSON protocol over an asyncio TCP
+connection (the transport ``repro-mesh query`` uses);
+:class:`InProcessClient` exchanges the same request/response dicts with a
+:class:`~repro.serve.daemon.RouteDaemon` directly, skipping the byte
+layer -- the harness the tests and the serving benchmark drive, so every
+differential assertion exercises exactly the daemon's dispatch and
+coalescing logic without socket noise.
+
+Both raise :class:`ServeError` (carrying the protocol error ``code``) on
+``ok: false`` responses; the raw response dict is available for verbs
+that want the envelope.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.serve.protocol import MAX_LINE_BYTES, decode_line, encode
+from repro.types import Coord
+
+
+class ServeError(RuntimeError):
+    """An ``ok: false`` daemon response, carrying its protocol code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+def _unwrap(response: Dict[str, Any]) -> Dict[str, Any]:
+    if not response.get("ok"):
+        error = response.get("error") or {}
+        raise ServeError(
+            error.get("code", "internal"), error.get("message", "unknown error")
+        )
+    return response
+
+
+class _Verbs:
+    """The shared verb surface; subclasses implement ``request``."""
+
+    async def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    async def ping(self) -> Dict[str, Any]:
+        return _unwrap(await self.request({"op": "ping"}))
+
+    async def route(
+        self, pairs: Sequence[Sequence[int]], request_id: Optional[Any] = None
+    ) -> Dict[str, Any]:
+        """Route ``[sx, sy, dx, dy]`` pairs; returns the routes payload."""
+        message: Dict[str, Any] = {"op": "route", "pairs": [list(p) for p in pairs]}
+        if request_id is not None:
+            message["id"] = request_id
+        return _unwrap(await self.request(message))
+
+    async def route_one(self, source: Coord, destination: Coord) -> Dict[str, Any]:
+        """Route a single pair; returns its outcome dict."""
+        response = await self.route([[*source, *destination]])
+        return response["routes"][0]
+
+    async def add_faults(self, nodes: Iterable[Coord]) -> Dict[str, Any]:
+        return _unwrap(
+            await self.request(
+                {"op": "add_faults", "nodes": [list(n) for n in nodes]}
+            )
+        )
+
+    async def repair(self, nodes: Iterable[Coord]) -> Dict[str, Any]:
+        return _unwrap(
+            await self.request({"op": "repair", "nodes": [list(n) for n in nodes]})
+        )
+
+    async def add_link_faults(
+        self, links: Iterable[Tuple[Coord, Coord]], prefer_lower: bool = True
+    ) -> Dict[str, Any]:
+        return _unwrap(
+            await self.request(
+                {
+                    "op": "add_link_faults",
+                    "links": [[list(a), list(b)] for a, b in links],
+                    "prefer_lower": prefer_lower,
+                }
+            )
+        )
+
+    async def status(self) -> Dict[str, Any]:
+        return _unwrap(await self.request({"op": "status"}))
+
+    async def simulate(self, **params: Any) -> Dict[str, Any]:
+        return _unwrap(await self.request({"op": "simulate", **params}))
+
+    async def shutdown(self) -> Dict[str, Any]:
+        return _unwrap(await self.request({"op": "shutdown"}))
+
+
+class InProcessClient(_Verbs):
+    """Drive a :class:`RouteDaemon` directly, no sockets involved."""
+
+    def __init__(self, daemon: Any) -> None:
+        self.daemon = daemon
+
+    async def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        return await self.daemon.handle(message)
+
+
+class ServeClient(_Verbs):
+    """NDJSON TCP client of a running routing daemon.
+
+    One request is in flight per client at a time (requests are matched
+    to responses by arrival order on the connection); open several
+    clients for concurrency, as the benchmark does.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._lock = asyncio.Lock()
+
+    async def connect(self) -> "ServeClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=MAX_LINE_BYTES
+        )
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - already gone
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self) -> "ServeClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.close()
+
+    async def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        if self._reader is None or self._writer is None:
+            raise RuntimeError("client is not connected")
+        async with self._lock:
+            self._writer.write(encode(message))
+            await self._writer.drain()
+            line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("daemon closed the connection")
+        return decode_line(line)

@@ -1,0 +1,471 @@
+"""The asyncio routing daemon: warm session state behind an NDJSON socket.
+
+:class:`RouteDaemon` owns one long-lived :class:`~repro.api.MeshSession`
+(and through it the cached routers, ring geometry, jump tables and packed
+rings of the routing facade) and serves verbs over the protocol of
+:mod:`repro.serve.protocol`:
+
+``route``
+    Route endpoint pairs.  Concurrent requests are merged by the
+    micro-batching coalescer (:mod:`repro.serve.coalescer`) into single
+    batch-engine calls; per-pair outcomes are bit-identical to routing
+    each pair alone.
+``add_faults`` / ``repair`` / ``add_link_faults``
+    Stream fault churn into the session.  Buffered route requests are
+    flushed first (they route on the state they were submitted under),
+    then the mutation lands; the next flush's router is delta-patched
+    from its predecessor (``REPRO_ENGINE_DELTAS``) instead of rebuilt.
+``status``
+    Health and statistics: uptime, queue depth, coalescer counters
+    (including the coalesce ratio), session ``cache_info``, the
+    effective engine/backend, and the mesh shape.
+``simulate``
+    One open-loop contention simulation on the warm
+    :class:`~repro.netsim.NetSimSession` (scalar summary fields only).
+``ping`` / ``shutdown``
+    Liveness probe; graceful drain-and-stop.
+
+The daemon is fully usable in-process (``await daemon.handle(request)``,
+or the :class:`~repro.serve.client.InProcessClient` wrapper) -- the TCP
+layer is only engaged by :meth:`start`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import Counter
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import _array_ops
+from repro.api.session import MeshSession
+from repro.faults.scenario import FaultScenario
+from repro.routing.engine import (
+    REASONS,
+    engine_deltas_enabled,
+    resolve_engine,
+    route_batch,
+)
+from repro.routing.traffic import TrafficBatch
+from repro.serve.coalescer import Pair, PendingRoute, RouteCoalescer
+from repro.serve.protocol import (
+    E_BAD_LINKS,
+    E_BAD_NODES,
+    E_BAD_PAIR,
+    E_BAD_REQUEST,
+    E_INTERNAL,
+    E_SHUTTING_DOWN,
+    E_UNKNOWN_OP,
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_line,
+    encode,
+    error_response,
+    ok_response,
+)
+from repro.types import Coord
+
+
+def _coerce_coord(value: Any, code: str) -> Coord:
+    try:
+        x, y = value
+        return (int(x), int(y))
+    except (TypeError, ValueError):
+        raise ProtocolError(code, f"not an (x, y) coordinate: {value!r}")
+
+
+class RouteDaemon:
+    """One warm mesh session served over verbs (in-process or TCP).
+
+    Parameters
+    ----------
+    session:
+        The session to serve (built from *scenario* when omitted, or an
+        empty default 32x32 mesh when both are omitted).
+    scenario:
+        A :class:`~repro.faults.scenario.FaultScenario` to preload.
+    construction, router, engine:
+        Registry keys of the served construction / router, and the engine
+        selection passed to :func:`~repro.routing.engine.resolve_engine`
+        per flush (``None`` = the ambient ``REPRO_ROUTE_ENGINE`` rule).
+    window, max_batch:
+        Coalescer knobs (seconds, pairs); ``max_batch=1`` disables
+        coalescing.
+    host, port:
+        TCP bind address used by :meth:`start` (``port=0`` picks a free
+        port, readable from :attr:`address`).
+    """
+
+    def __init__(
+        self,
+        session: Optional[MeshSession] = None,
+        *,
+        scenario: Optional[FaultScenario] = None,
+        construction: str = "mfp",
+        router: str = "extended-ecube",
+        engine: Optional[str] = None,
+        window: float = 0.001,
+        max_batch: int = 256,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        if session is None:
+            if scenario is not None:
+                session = MeshSession.from_scenario(scenario)
+            else:
+                session = MeshSession(width=32)
+        self.session = session
+        # Warm the routing facade eagerly: the daemon exists to own warm
+        # state, and this also seeds the engine counters in cache_info.
+        session.routing
+        self.construction = construction
+        self.router = router
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self.coalescer = RouteCoalescer(
+            self._flush_routes, window=window, max_batch=max_batch
+        )
+        self.op_counts: "Counter[str]" = Counter()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._writers: set = set()
+        self._conn_tasks: set = set()
+        self._closing = False
+        self._stopped: Optional[asyncio.Event] = None
+        self._started_at: Optional[float] = None
+        self._last_engine = ""
+
+    # -- routing ---------------------------------------------------------------------
+
+    def _flush_routes(self, pending: List[PendingRoute]) -> None:
+        """Route the concatenated pairs of one coalesced flush.
+
+        Runs synchronously on the event loop (the kernel is CPU-bound).
+        Each request's pairs occupy a contiguous slice of the batch, so
+        fanning outcomes back is pure slicing.
+        """
+        pairs = np.asarray(
+            [pair for entry in pending for pair in entry.pairs], dtype=np.int64
+        ).reshape(-1, 4)
+        batch = TrafficBatch(
+            src_x=pairs[:, 0].copy(),
+            src_y=pairs[:, 1].copy(),
+            dst_x=pairs[:, 2].copy(),
+            dst_y=pairs[:, 3].copy(),
+        )
+        router_obj = self.session.routing.router(self.router, self.construction)
+        spec = resolve_engine(router_obj, self.engine, False)
+        self._last_engine = spec.key
+        routes: List[Dict[str, Any]]
+        if spec.key == "batch":
+            outcome = route_batch(router_obj, batch)
+            delivered = outcome.status == 1
+            routes = [
+                {
+                    "delivered": bool(delivered[i]),
+                    "reason": REASONS[int(outcome.status[i])],
+                    "hops": int(outcome.hops[i]),
+                    "abnormal_hops": int(outcome.abnormal_hops[i]),
+                    "minimal_hops": int(outcome.minimal_hops[i]),
+                }
+                for i in range(len(outcome))
+            ]
+        else:
+            routes = []
+            for source, destination in batch.pairs():
+                result = router_obj.route(source, destination)
+                routes.append(
+                    {
+                        "delivered": result.delivered,
+                        "reason": result.reason,
+                        "hops": result.hops,
+                        "abnormal_hops": result.abnormal_hops,
+                        # hops - detour == the fault-free Manhattan distance.
+                        "minimal_hops": result.hops - result.detour,
+                    }
+                )
+        version = self.session.version
+        offset = 0
+        for entry in pending:
+            count = len(entry.pairs)
+            entry.future.set_result(
+                {
+                    "routes": routes[offset : offset + count],
+                    "version": version,
+                    "engine": spec.key,
+                }
+            )
+            offset += count
+
+    def _parse_pairs(self, payload: Dict[str, Any]) -> List[Pair]:
+        if "pairs" in payload:
+            raw = payload["pairs"]
+        elif "src" in payload and "dst" in payload:
+            raw = [[*payload["src"], *payload["dst"]]]
+        else:
+            raise ProtocolError(E_BAD_PAIR, "route needs 'pairs' or 'src'/'dst'")
+        if not isinstance(raw, (list, tuple)) or not raw:
+            raise ProtocolError(E_BAD_PAIR, "'pairs' must be a non-empty list")
+        topology = self.session.topology
+        width, height = topology.width, topology.height
+        pairs: List[Pair] = []
+        for item in raw:
+            try:
+                sx, sy, dx, dy = (int(v) for v in item)
+            except (TypeError, ValueError):
+                raise ProtocolError(
+                    E_BAD_PAIR, f"not a [sx, sy, dx, dy] pair: {item!r}"
+                )
+            for x, y in ((sx, sy), (dx, dy)):
+                if not (0 <= x < width and 0 <= y < height):
+                    raise ProtocolError(
+                        E_BAD_PAIR,
+                        f"endpoint {(x, y)} outside the {width}x{height} mesh",
+                    )
+            pairs.append((sx, sy, dx, dy))
+        return pairs
+
+    def _parse_nodes(self, payload: Dict[str, Any]) -> List[Coord]:
+        raw = payload.get("nodes")
+        if not isinstance(raw, (list, tuple)) or not raw:
+            raise ProtocolError(E_BAD_NODES, "'nodes' must be a non-empty list")
+        nodes = [_coerce_coord(item, E_BAD_NODES) for item in raw]
+        topology = self.session.topology
+        for node in nodes:
+            try:
+                topology.validate(node)
+            except ValueError as exc:
+                raise ProtocolError(E_BAD_NODES, str(exc))
+        return nodes
+
+    def _parse_links(
+        self, payload: Dict[str, Any]
+    ) -> List[Tuple[Coord, Coord]]:
+        raw = payload.get("links")
+        if not isinstance(raw, (list, tuple)) or not raw:
+            raise ProtocolError(E_BAD_LINKS, "'links' must be a non-empty list")
+        links: List[Tuple[Coord, Coord]] = []
+        for item in raw:
+            try:
+                a, b = item
+            except (TypeError, ValueError):
+                raise ProtocolError(E_BAD_LINKS, f"not an [a, b] link: {item!r}")
+            links.append(
+                (_coerce_coord(a, E_BAD_LINKS), _coerce_coord(b, E_BAD_LINKS))
+            )
+        return links
+
+    # -- verb handlers ---------------------------------------------------------------
+
+    async def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Serve one request dict; always returns a response dict."""
+        request_id = request.get("id")
+        op = request.get("op")
+        if not isinstance(op, str):
+            return error_response(E_BAD_REQUEST, "missing 'op' verb", request_id)
+        self.op_counts[op] += 1
+        if self._closing and op not in ("status", "ping"):
+            return error_response(
+                E_SHUTTING_DOWN, "daemon is draining", request_id
+            )
+        try:
+            handler = getattr(self, f"_op_{op.replace('-', '_')}", None)
+            if handler is None:
+                return error_response(E_UNKNOWN_OP, f"unknown op {op!r}", request_id)
+            payload = await handler(request)
+            return ok_response(payload, request_id)
+        except ProtocolError as exc:
+            return error_response(exc.code, str(exc), request_id)
+        except Exception as exc:  # noqa: BLE001 - daemon must not die on a verb
+            return error_response(E_INTERNAL, f"{type(exc).__name__}: {exc}", request_id)
+
+    async def _op_ping(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return {"pong": True}
+
+    async def _op_route(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        pairs = self._parse_pairs(request)
+        return await self.coalescer.submit(pairs)
+
+    def _mutation_payload(self, changed: List[Coord], key: str) -> Dict[str, Any]:
+        return {
+            key: [list(node) for node in changed],
+            "version": self.session.version,
+            "num_faults": self.session.num_faults,
+        }
+
+    async def _op_add_faults(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        nodes = self._parse_nodes(request)
+        # Buffered routes were submitted before this mutation: flush them
+        # against the pre-mutation state first.
+        self.coalescer.flush_now()
+        return self._mutation_payload(self.session.add_faults(nodes), "added")
+
+    async def _op_repair(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        nodes = self._parse_nodes(request)
+        self.coalescer.flush_now()
+        return self._mutation_payload(self.session.remove_faults(nodes), "removed")
+
+    async def _op_add_link_faults(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        links = self._parse_links(request)
+        self.coalescer.flush_now()
+        try:
+            added = self.session.add_link_faults(
+                links, prefer_lower=bool(request.get("prefer_lower", True))
+            )
+        except ValueError as exc:
+            raise ProtocolError(E_BAD_LINKS, str(exc))
+        return self._mutation_payload(added, "added")
+
+    async def _op_status(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        loop = asyncio.get_running_loop()
+        session = self.session
+        topology = session.topology
+        uptime = (
+            loop.time() - self._started_at if self._started_at is not None else 0.0
+        )
+        return {
+            "uptime": round(uptime, 6),
+            "serving": not self._closing,
+            "queue_depth": self.coalescer.queue_depth,
+            "coalescer": self.coalescer.stats.as_dict(),
+            "requests": dict(self.op_counts),
+            "mesh": {
+                "width": topology.width,
+                "height": topology.height,
+                "torus": type(topology).__name__ == "Torus2D",
+                "faults": session.num_faults,
+                "components": len(session.components()),
+            },
+            "construction": self.construction,
+            "router": self.router,
+            "engine": self._last_engine or (self.engine or "auto"),
+            "engine_deltas": engine_deltas_enabled(),
+            "backend": _array_ops.active_backend_key(),
+            "cache_info": dict(session.cache_info),
+            "version": session.version,
+        }
+
+    async def _op_simulate(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        self.coalescer.flush_now()
+        stats = self.session.simulate(
+            request.get("construction", self.construction),
+            traffic=request.get("traffic", "uniform"),
+            load=float(request.get("load", 0.05)),
+            cycles=int(request.get("cycles", 256)),
+            seed=int(request.get("seed", 0)),
+            router=request.get("router", self.router),
+        )
+        return {
+            "attempted": stats.attempted,
+            "delivered": stats.delivered,
+            "unroutable": stats.unroutable,
+            "in_flight": stats.in_flight,
+            "cycles_run": stats.cycles_run,
+            "total_latency": int(stats.total_latency),
+            "deadlocked": stats.deadlocked,
+            "sim": stats.sim,
+            "version": self.session.version,
+        }
+
+    async def _op_shutdown(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        asyncio.get_running_loop().create_task(self.stop())
+        return {"stopping": True}
+
+    # -- TCP layer -------------------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("daemon is not listening")
+        name = self._server.sockets[0].getsockname()
+        return (name[0], name[1])
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind the TCP listener; returns the bound address."""
+        if self._server is not None:
+            raise RuntimeError("daemon already started")
+        self._stopped = asyncio.Event()
+        self._started_at = asyncio.get_running_loop().time()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port, limit=MAX_LINE_BYTES
+        )
+        return self.address
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`stop` (or a ``shutdown`` request) completes."""
+        if self._stopped is None:
+            raise RuntimeError("call start() first")
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        """Graceful drain: flush buffered routes, then close the listener."""
+        if self._closing:
+            return
+        self._closing = True
+        await self.coalescer.drain()
+        if self._conn_tasks:
+            await asyncio.gather(*tuple(self._conn_tasks), return_exceptions=True)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in tuple(self._writers):
+            writer.close()
+        if self._stopped is not None:
+            self._stopped.set()
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        write_lock = asyncio.Lock()
+        tasks: set = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    async with write_lock:
+                        writer.write(
+                            encode(error_response(E_BAD_REQUEST, "request line too long"))
+                        )
+                        await writer.drain()
+                    break
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.ensure_future(
+                    self._serve_line(line, writer, write_lock)
+                )
+                tasks.add(task)
+                self._conn_tasks.add(task)
+                task.add_done_callback(tasks.discard)
+                task.add_done_callback(self._conn_tasks.discard)
+            if tasks:
+                await asyncio.gather(*tuple(tasks), return_exceptions=True)
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+
+    async def _serve_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        try:
+            request = decode_line(line)
+        except ProtocolError as exc:
+            response = error_response(exc.code, str(exc))
+        else:
+            response = await self.handle(request)
+        async with write_lock:
+            try:
+                writer.write(encode(response))
+                await writer.drain()
+            except ConnectionError:  # pragma: no cover - client went away
+                pass

@@ -1,0 +1,85 @@
+"""The newline-delimited-JSON wire protocol of the routing daemon.
+
+One request per line, one response per line, UTF-8 JSON with no embedded
+newlines.  Requests are objects with an ``op`` verb and optional ``id``
+(echoed verbatim on the response, so pipelined requests can be matched
+out of order)::
+
+    {"op": "route", "id": 7, "pairs": [[0, 0, 9, 9], [3, 1, 3, 8]]}
+    {"op": "add_faults", "nodes": [[4, 4], [4, 5]]}
+    {"op": "status"}
+
+Responses carry ``ok`` plus either the verb's payload or an ``error``
+object with a stable ``code`` and a human-readable ``message``::
+
+    {"id": 7, "ok": true, "routes": [...], "version": 3}
+    {"ok": false, "error": {"code": "bad-pair", "message": "..."}}
+
+The module is transport-agnostic: :class:`repro.serve.daemon.RouteDaemon`
+uses it over asyncio TCP streams, the in-process client skips the byte
+layer entirely and exchanges the same dict shapes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+#: Protocol error codes (stable strings, matched by clients and tests).
+E_BAD_REQUEST = "bad-request"  #: unparseable line / not a JSON object
+E_UNKNOWN_OP = "unknown-op"  #: unrecognised ``op`` verb
+E_BAD_PAIR = "bad-pair"  #: malformed or out-of-bounds route endpoints
+E_BAD_NODES = "bad-nodes"  #: malformed fault / repair coordinates
+E_BAD_LINKS = "bad-links"  #: malformed or non-adjacent link endpoints
+E_SHUTTING_DOWN = "shutting-down"  #: request arrived after drain began
+E_INTERNAL = "internal"  #: unexpected server-side failure
+
+#: Hard cap on one request line; a line longer than this is rejected
+#: instead of buffered (protects the daemon from unbounded payloads).
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A malformed request, carrying its protocol error ``code``."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def encode(message: Dict[str, Any]) -> bytes:
+    """Serialise one protocol message to a single NDJSON line."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one request line into a dict, or raise :class:`ProtocolError`."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(E_BAD_REQUEST, f"unparseable request line: {exc}")
+    if not isinstance(message, dict):
+        raise ProtocolError(E_BAD_REQUEST, "request must be a JSON object")
+    return message
+
+
+def error_response(
+    code: str, message: str, request_id: Optional[Any] = None
+) -> Dict[str, Any]:
+    """Build the standard error-response shape."""
+    response: Dict[str, Any] = {
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def ok_response(payload: Dict[str, Any], request_id: Optional[Any] = None) -> Dict[str, Any]:
+    """Build a success response around a verb payload."""
+    response: Dict[str, Any] = {"ok": True}
+    if request_id is not None:
+        response["id"] = request_id
+    response.update(payload)
+    return response

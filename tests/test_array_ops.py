@@ -354,13 +354,17 @@ class TestBackendSwitch:
 
 class TestStatsProvenance:
     def test_route_records_effective_backend(self):
+        # The ambient default may itself be forced (CI runs this suite
+        # under REPRO_ARRAY_BACKEND=loops), so derive the expectation
+        # from the registry rather than hard-coding numpy.
+        ambient = _array_ops.active_ops().key
         session = MeshSession(width=10, faults=[(2, 2), (2, 3), (7, 7)])
         stats = session.route("mfp", messages=50, seed=0, backend="loops")
         assert stats.backend == "loops"
         assert session.cache_info["array_backend"] == "loops"
         stats = session.route("mfp", messages=50, seed=0)
-        assert stats.backend == "numpy"
-        assert session.cache_info["array_backend"] == "numpy"
+        assert stats.backend == ambient
+        assert session.cache_info["array_backend"] == ambient
 
     def test_numba_selection_reports_what_actually_ran(self):
         session = MeshSession(width=10, faults=[(4, 4), (4, 5)])
