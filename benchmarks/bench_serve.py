@@ -24,12 +24,22 @@ update, the differential oracle).  The routed stats of the two modes
 must be bit-identical (``identical``); the speedup is the rebuild time
 over the delta time.
 
+**overload** -- offer more load than the daemon admits: concurrent
+clients hammer a daemon whose pending-pair queue is capped
+(``max_pending``), once with admission control engaged (sheds respond
+``overloaded`` + ``retry_after`` and the retrying clients back off) and
+once with an effectively unbounded queue.  Recorded: shed rate and
+p50/p99 completed-request latency in both modes.  Latencies are
+timing-dependent and informational; the *stable* record -- every request
+eventually completes through the retry path (``all_completed``) -- is
+what the guard compares.
+
 The measurements are written as machine-readable JSON (schema
-``repro.bench_serve/v1``).  ``--compare`` checks the bit-identity
-records and routed stats of a run against a previously committed
-reference -- the CI guard re-runs a small configuration against
-``benchmarks/results/BENCH_serve.json`` (timings are informational only
-and never compared).
+``repro.bench_serve/v2``).  ``--compare`` checks the bit-identity
+records, routed stats and overload-completion records of a run against a
+previously committed reference -- the CI guard re-runs a small
+configuration against ``benchmarks/results/BENCH_serve.json`` (timings
+are informational only and never compared).
 
 Usage::
 
@@ -59,9 +69,9 @@ import numpy as np
 
 from repro.api import MeshSession, use_engine_deltas
 from repro.faults.scenario import generate_scenario
-from repro.serve import InProcessClient, RouteDaemon
+from repro.serve import InProcessClient, RetryPolicy, RouteDaemon
 
-SCHEMA = "repro.bench_serve/v1"
+SCHEMA = "repro.bench_serve/v2"
 DEFAULT_OUT = Path(__file__).parent / "results" / "BENCH_serve.json"
 
 STATS_FIELDS = (
@@ -263,6 +273,125 @@ def bench_deltas(args) -> dict:
     return report
 
 
+# -- section 3: overload and admission control ---------------------------------------
+
+
+def run_overload(scenario, workloads, *, admission: bool, max_pending: int):
+    """Offer every workload concurrently; return latency/shed measurements.
+
+    Each workload is one client's list of route requests, issued
+    sequentially with unbounded (deadline-capped) retries on
+    ``overloaded`` sheds.  With *admission* the daemon's pending-pair
+    queue is capped at *max_pending*; without, the cap is effectively
+    infinite (nothing sheds, everything queues).
+    """
+    daemon = RouteDaemon(
+        scenario=scenario,
+        window=0.0005,
+        max_batch=512,
+        max_pending=max_pending if admission else 2**31,
+    )
+    client = InProcessClient(daemon)
+    policy = RetryPolicy(
+        max_attempts=None,
+        base_delay=0.001,
+        max_delay=0.05,
+        jitter=0.0,
+        deadline=120.0,
+    )
+    latencies = []
+    attempts = 0
+
+    async def worker(requests):
+        nonlocal attempts
+        for pairs in requests:
+            schedule = policy.schedule()
+            start = time.perf_counter()
+            while True:
+                attempts += 1
+                response = await client.request({"op": "route", "pairs": pairs})
+                if response["ok"]:
+                    break
+                if response["error"]["code"] != "overloaded":
+                    raise RuntimeError(f"unexpected error: {response['error']}")
+                delay = schedule.next_delay()
+                if delay is None:
+                    raise RuntimeError("retry deadline exhausted under overload")
+                await asyncio.sleep(
+                    max(delay, response["error"].get("retry_after", 0.0))
+                )
+            latencies.append(time.perf_counter() - start)
+
+    async def main():
+        start = time.perf_counter()
+        await asyncio.gather(*(worker(requests) for requests in workloads))
+        return time.perf_counter() - start
+
+    elapsed = asyncio.run(main())
+    offered = sum(len(requests) for requests in workloads)
+    return {
+        "elapsed_seconds": elapsed,
+        "completed": len(latencies),
+        "all_completed": len(latencies) == offered,
+        "attempts": attempts,
+        "shed_requests": daemon.shed_requests,
+        "shed_rate": daemon.shed_requests / attempts if attempts else 0.0,
+        "p50_latency_ms": float(np.percentile(latencies, 50)) * 1000,
+        "p99_latency_ms": float(np.percentile(latencies, 99)) * 1000,
+    }
+
+
+def bench_overload(args) -> dict:
+    scenario = generate_scenario(
+        num_faults=args.serve_faults,
+        width=args.serve_width,
+        model="clustered",
+        seed=args.seed,
+    )
+    rng = np.random.default_rng(args.seed + 2)
+    workloads = [
+        [
+            [
+                [int(v) for v in rng.integers(0, args.serve_width, size=4)]
+                for _ in range(args.overload_pairs)
+            ]
+            for _ in range(args.overload_requests)
+        ]
+        for _ in range(args.overload_clients)
+    ]
+    offered = args.overload_clients * args.overload_requests
+    print(
+        f"-- overload: {scenario.describe()}, {args.overload_clients} clients x "
+        f"{args.overload_requests} requests x {args.overload_pairs} pairs "
+        f"(queue cap {args.overload_max_pending} pairs)"
+    )
+    shedding = run_overload(
+        scenario, workloads, admission=True, max_pending=args.overload_max_pending
+    )
+    unbounded = run_overload(
+        scenario, workloads, admission=False, max_pending=args.overload_max_pending
+    )
+    report = {
+        "clients": args.overload_clients,
+        "requests_per_client": args.overload_requests,
+        "pairs_per_request": args.overload_pairs,
+        "max_pending": args.overload_max_pending,
+        "offered": offered,
+        "with_admission": shedding,
+        "without_admission": unbounded,
+        "all_completed": shedding["all_completed"] and unbounded["all_completed"],
+    }
+    for label, run in (("admission", shedding), ("unbounded", unbounded)):
+        print(
+            f"   {label:>9}: shed {run['shed_rate'] * 100:5.1f}% "
+            f"({run['shed_requests']}/{run['attempts']} attempts)   "
+            f"p50 {run['p50_latency_ms']:7.2f} ms   "
+            f"p99 {run['p99_latency_ms']:7.2f} ms   "
+            f"completed {run['completed']}/{offered}"
+        )
+    return report
+
+
 # -- guard and entry point -----------------------------------------------------------
 
 
@@ -271,12 +400,19 @@ def compare_reference(payload: dict, reference_path: Path) -> int:
     reference = json.loads(reference_path.read_text())
     mismatches = 0
     compared = 0
-    for section in ("coalesce", "deltas"):
+    for section in ("coalesce", "deltas", "overload"):
         ours = payload.get(section)
         expected = reference.get(section)
         if ours is None or expected is None:
             continue
         compared += 1
+        if section == "overload":
+            # Overload latencies are timing noise; the durable record is
+            # that retries drove every offered request to completion.
+            if not ours["all_completed"] or not expected["all_completed"]:
+                mismatches += 1
+                print("OVERLOAD REGRESSION: not every request completed")
+            continue
         if not ours["identical"] or not expected["identical"]:
             mismatches += 1
             print(f"IDENTITY REGRESSION in section {section!r}")
@@ -334,6 +470,24 @@ def main(argv=None) -> int:
         help="messages routed after each update (small, so update cost "
         "dominates the timing)",
     )
+    parser.add_argument(
+        "--overload-clients", type=int, default=32,
+        help="concurrent clients of the overload section",
+    )
+    parser.add_argument(
+        "--overload-requests", type=int, default=8,
+        help="sequential route requests per overload client",
+    )
+    parser.add_argument(
+        "--overload-pairs", type=int, default=16,
+        help="pairs carried by each overload request",
+    )
+    parser.add_argument(
+        "--overload-max-pending", type=int, default=64,
+        help="pending-pair queue cap of the admission-controlled run "
+        "(kept below clients x pairs so the offered load genuinely "
+        "exceeds capacity)",
+    )
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument(
         "--min-coalesce-speedup", type=float, default=None,
@@ -353,6 +507,7 @@ def main(argv=None) -> int:
 
     coalesce = bench_coalesce(args)
     deltas = bench_deltas(args)
+    overload = bench_overload(args)
     payload = {
         "schema": SCHEMA,
         "python": platform.python_version(),
@@ -367,12 +522,17 @@ def main(argv=None) -> int:
             "delta_faults": args.delta_faults,
             "updates": args.updates,
             "delta_messages": args.delta_messages,
+            "overload_clients": args.overload_clients,
+            "overload_requests": args.overload_requests,
+            "overload_pairs": args.overload_pairs,
+            "overload_max_pending": args.overload_max_pending,
             "seed": args.seed,
             "construction": "mfp",
             "router": "extended-ecube",
         },
         "coalesce": coalesce,
         "deltas": deltas,
+        "overload": overload,
     }
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
@@ -384,6 +544,9 @@ def main(argv=None) -> int:
         exit_code = 1
     if not deltas["identical"]:
         print("DELTA MISMATCH: delta-patched stats differ from full rebuilds")
+        exit_code = 1
+    if not overload["all_completed"]:
+        print("OVERLOAD FAILURE: some requests never completed through retries")
         exit_code = 1
     if (
         args.min_coalesce_speedup

@@ -45,6 +45,8 @@ runs a whole routing experiment from registry keys alone::
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.api.registry import (
@@ -181,6 +183,68 @@ class MeshSession:
     def fault_set(self) -> FrozenSet[Coord]:
         """The current fault positions as a frozenset."""
         return frozenset(self._fault_set)
+
+    def state(self) -> Dict[str, Any]:
+        """The session's durable state as a JSON-safe dict.
+
+        Captures everything :meth:`from_state` needs to reconstruct a
+        bit-identical session: topology shape/kind, the fault list *in
+        insertion order* (component discovery order depends on it), and
+        the version counter.  Used by the serve journal's snapshots
+        (:mod:`repro.serve.journal`).  Only the built-in ``Mesh2D`` /
+        ``Torus2D`` topologies are supported.
+        """
+        topology = self._topology
+        if type(topology) not in (Mesh2D, Torus2D):
+            raise ValueError(
+                f"cannot snapshot a session over {type(topology).__name__}; "
+                "only Mesh2D/Torus2D topologies round-trip through state()"
+            )
+        return {
+            "width": topology.width,
+            "height": topology.height,
+            "torus": isinstance(topology, Torus2D),
+            "faults": [list(fault) for fault in self._faults],
+            "version": self._version,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "MeshSession":
+        """Reconstruct a session from a :meth:`state` snapshot.
+
+        The fault list is re-inserted in its recorded order (one batch
+        preserves insertion order) and the version counter is restored,
+        so replaying the same mutations against the restored session
+        reproduces the original's :meth:`fingerprint` exactly.
+        """
+        session = cls(
+            width=int(state["width"]),
+            height=int(state["height"]),
+            torus=bool(state.get("torus", False)),
+        )
+        session.add_faults(tuple(int(v) for v in fault) for fault in state["faults"])
+        session._version = int(state["version"])
+        return session
+
+    def fingerprint(self) -> str:
+        """SHA-256 witness of the observable session state.
+
+        Hashes the :meth:`state` snapshot plus the component partition
+        (node sets in discovery order), so two sessions with equal
+        fingerprints route identically: the fault set, its insertion
+        order, the components and the version all match.  This is the
+        equality the journal-recovery differentials assert
+        (``recover()`` == uninterrupted oracle).
+        """
+        payload = {
+            "state": self.state(),
+            "components": [
+                sorted(map(list, component.nodes))
+                for component in self.components()
+            ],
+        }
+        blob = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     # -- mutation ------------------------------------------------------------------
 

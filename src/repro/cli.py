@@ -41,13 +41,17 @@ command resolves its fault-region models through the construction registry
     Start the long-lived routing daemon (:mod:`repro.serve`) on one
     generated fault pattern: route queries over newline-delimited JSON,
     micro-batched into single engine calls, with fault churn applied as
-    incremental engine deltas (``REPRO_ENGINE_DELTAS``).
+    incremental engine deltas (``REPRO_ENGINE_DELTAS``).  ``--journal``
+    makes the daemon crash-recoverable (a non-empty journal is replayed
+    on start-up); ``--max-pending`` / ``--max-inflight`` bound admission.
 
 ``repro-mesh query``
     Client of a running daemon: route explicit or random pairs, stream
     fault/repair/link-fault updates, print the ``status`` payload or
     request a graceful shutdown; ``--wait`` retries the connection while
-    a freshly started daemon binds its port.
+    a freshly started daemon binds its port, ``--timeout`` bounds each
+    request, ``--retries`` retries transient failures with backoff (all
+    three ride :class:`repro.serve.retry.RetryPolicy`).
 
 ``repro-mesh verify``
     Run the construction verification suite on a generated fault pattern.
@@ -67,6 +71,7 @@ import asyncio
 import json
 import os
 import sys
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro._array_ops import active_backend_key
@@ -331,13 +336,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     backend = _apply_backend(args)
-    scenario, session = _session_from(args)
     # Imported lazily: the serving layer is optional machinery on top of
     # the session API.
     from repro.serve import RouteDaemon
 
-    daemon = RouteDaemon(
-        session,
+    knobs = dict(
         construction=args.model,
         router=args.router,
         engine=None if args.engine == "auto" else args.engine,
@@ -345,11 +348,28 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         host=args.host,
         port=args.port,
+        max_pending=args.max_pending,
+        max_inflight=args.max_inflight,
+        snapshot_every=args.snapshot_every,
     )
+    journal_path = Path(args.journal) if args.journal else None
+    if journal_path is not None and journal_path.exists() and journal_path.stat().st_size:
+        # A non-empty journal wins over the scenario flags: the daemon
+        # resumes the exact session the previous process was serving.
+        daemon = RouteDaemon.recover(journal_path, **knobs)
+        scenario_line = (
+            f"recovered from {journal_path} "
+            f"(events replayed: {daemon.recovered['events_replayed']}, "
+            f"snapshot version: {daemon.recovered['snapshot_version']})"
+        )
+    else:
+        scenario, session = _session_from(args)
+        daemon = RouteDaemon(session, journal=journal_path, **knobs)
+        scenario_line = f"scenario: {scenario.describe()}"
 
     async def run() -> None:
         host, port = await daemon.start()
-        print(f"scenario: {scenario.describe()}")
+        print(scenario_line)
         print(
             f"serving on {host}:{port} (model: {args.model}, router: "
             f"{args.router}, engine: {args.engine}, backend: {backend}, "
@@ -377,23 +397,36 @@ def _parse_csv_ints(text: str, arity: int, what: str) -> Tuple[int, ...]:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    from repro.serve import ServeClient, ServeError
+    from repro.serve import RetryPolicy, ServeClient, ServeError
+
+    retry = None
+    if args.retries:
+        retry = RetryPolicy(max_attempts=args.retries + 1)
+    # --wait is the daemon start-up grace: retry only the *connection*,
+    # on the same backoff engine request retries use (no jitter, so the
+    # grace stays a predictable upper bound).
+    connect_retry = None
+    if args.wait > 0:
+        connect_retry = RetryPolicy(
+            max_attempts=None,
+            base_delay=0.05,
+            max_delay=0.5,
+            jitter=0.0,
+            deadline=args.wait,
+        )
 
     async def run() -> int:
-        client = ServeClient(args.host, args.port)
-        deadline = asyncio.get_running_loop().time() + args.wait
-        while True:
-            try:
-                await client.connect()
-                break
-            except OSError:
-                if asyncio.get_running_loop().time() >= deadline:
-                    print(
-                        f"could not connect to {args.host}:{args.port}",
-                        file=sys.stderr,
-                    )
-                    return 1
-                await asyncio.sleep(0.1)
+        client = ServeClient(
+            args.host, args.port, retry=retry, timeout=args.timeout
+        )
+        try:
+            await client.connect(retry=connect_retry)
+        except OSError:
+            print(
+                f"could not connect to {args.host}:{args.port}",
+                file=sys.stderr,
+            )
+            return 1
         try:
             if args.add_faults:
                 nodes = [_parse_csv_ints(n, 2, "node") for n in args.add_faults]
@@ -449,6 +482,14 @@ def cmd_query(args: argparse.Namespace) -> int:
             return 0
         except ServeError as exc:
             print(f"daemon error: {exc}", file=sys.stderr)
+            return 1
+        except (asyncio.TimeoutError, TimeoutError, OSError) as exc:
+            detail = f": {exc}" if str(exc) else ""
+            print(
+                f"request to {args.host}:{args.port} failed "
+                f"({type(exc).__name__}){detail}",
+                file=sys.stderr,
+            )
             return 1
         finally:
             await client.close()
@@ -650,6 +691,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=256,
         help="flush once this many pairs are buffered (1 disables coalescing)",
     )
+    serve.add_argument(
+        "--journal",
+        metavar="PATH",
+        help="journal mutations to PATH; an existing non-empty journal is "
+        "recovered from (scenario flags are then ignored)",
+    )
+    serve.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=64,
+        help="write a journal snapshot every N events (bounds replay)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=4096,
+        help="shed route requests once this many pairs are buffered "
+        "(admission control; shed responses carry retry_after)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="per-connection cap on concurrently handled requests "
+        "(excess pipelined lines wait in the socket)",
+    )
     _add_backend_argument(serve)
     serve.set_defaults(func=cmd_serve)
 
@@ -664,6 +731,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="retry the connection for up to this many seconds (daemon "
         "start-up grace)",
+    )
+    query.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request timeout; route requests also carry it to the "
+        "daemon as deadline_ms",
+    )
+    query.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry failed requests up to N times (exponential backoff; "
+        "overloaded sheds honour the daemon's retry_after hint)",
     )
     query.add_argument(
         "--pairs",

@@ -12,10 +12,18 @@ serves it over a newline-delimited-JSON protocol:
   stats).
 * :mod:`repro.serve.daemon` -- :class:`RouteDaemon`: verb dispatch
   (``route`` / ``add_faults`` / ``repair`` / ``add_link_faults`` /
-  ``status`` / ``simulate`` / ``ping`` / ``shutdown``), the TCP listener
-  and graceful drain.
-* :mod:`repro.serve.client` -- :class:`ServeClient` (TCP) and
-  :class:`InProcessClient` (same verbs, no sockets).
+  ``status`` / ``simulate`` / ``ping`` / ``shutdown``), the TCP listener,
+  admission control (bounded pending queue, per-connection in-flight
+  caps, ``deadline_ms`` shedding), journaling and graceful drain.
+* :mod:`repro.serve.client` -- :class:`ServeClient` (TCP; per-request
+  timeouts, poison-on-desync, policy-driven retries with idempotent
+  mutations) and :class:`InProcessClient` (same verbs, no sockets).
+* :mod:`repro.serve.retry` -- :class:`RetryPolicy`: exponential backoff
+  with deterministic seeded jitter and deadline caps.
+* :mod:`repro.serve.journal` -- the append-only NDJSON mutation journal
+  plus snapshots behind :meth:`RouteDaemon.recover`.
+* :mod:`repro.serve.chaos` -- :class:`ChaosTransport`: the seeded
+  fault-injecting TCP proxy of the resilience differential.
 
 Fault churn streamed through the daemon delta-patches the warm routers'
 jump tables and packed rings (:func:`repro.routing.engine.
@@ -25,10 +33,21 @@ each request alone.  ``repro-mesh serve`` / ``repro-mesh query`` are the
 CLI faces of this package.
 """
 
+from repro.serve.chaos import ChaosConfig, ChaosTransport
 from repro.serve.client import InProcessClient, ServeClient, ServeError
 from repro.serve.coalescer import CoalescerStats, PendingRoute, RouteCoalescer
 from repro.serve.daemon import RouteDaemon
+from repro.serve.journal import (
+    IDEM_CACHE_SIZE,
+    Journal,
+    JournalError,
+    LoadedJournal,
+    load_journal,
+    replay_events,
+)
 from repro.serve.protocol import (
+    E_DEADLINE,
+    E_OVERLOADED,
     MAX_LINE_BYTES,
     ProtocolError,
     decode_line,
@@ -36,6 +55,7 @@ from repro.serve.protocol import (
     error_response,
     ok_response,
 )
+from repro.serve.retry import RetryPolicy, RetrySchedule
 
 __all__ = [
     "RouteDaemon",
@@ -45,10 +65,22 @@ __all__ = [
     "ServeClient",
     "InProcessClient",
     "ServeError",
+    "RetryPolicy",
+    "RetrySchedule",
+    "Journal",
+    "JournalError",
+    "LoadedJournal",
+    "load_journal",
+    "replay_events",
+    "IDEM_CACHE_SIZE",
+    "ChaosConfig",
+    "ChaosTransport",
     "ProtocolError",
     "encode",
     "decode_line",
     "error_response",
     "ok_response",
     "MAX_LINE_BYTES",
+    "E_OVERLOADED",
+    "E_DEADLINE",
 ]

@@ -1,0 +1,205 @@
+"""Deterministic fault injection for the serving stack: a chaos TCP proxy.
+
+:class:`ChaosTransport` is a line-oriented TCP relay (in the spirit of
+toxiproxy) that sits between a :class:`~repro.serve.client.ServeClient`
+and a :class:`~repro.serve.daemon.RouteDaemon` and injects transport
+faults decided by a *seeded* RNG:
+
+* **drop** -- a request or response line silently vanishes;
+* **delay** -- a line is held for a bounded random interval before
+  forwarding;
+* **partial write** -- a strict prefix of a line is forwarded, then the
+  connection is torn down (the reader sees a truncated line);
+* **disconnect** -- both directions of the proxied connection are
+  closed mid-conversation.
+
+Faults are rolled per *line*, in the order lines traverse the proxy, from
+one shared ``random.Random(seed)`` -- so a sequential single-client
+workload replays the same fault pattern for the same seed.  What the
+resilience differential actually asserts is stronger than timing
+determinism, though: a retrying client driven through this proxy must
+produce *bit-identical* route outcomes and a bit-identical final session
+fingerprint to the same workload run fault-free, because every injected
+fault is survivable (drops and truncations trigger retries, idempotency
+ids make retried mutations apply exactly once, and routes are pure
+queries of the session state).
+
+The proxy never rewrites payload bytes: a forwarded line is forwarded
+verbatim, so no fault can silently corrupt a response into a different
+*valid* one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from repro.serve.protocol import MAX_LINE_BYTES
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Per-line fault probabilities for a :class:`ChaosTransport`.
+
+    Rates are independent probabilities in ``[0, 1]``, checked in the
+    order drop -> disconnect -> partial write -> delay (at most one
+    fault fires per line; a dropped line cannot also be delayed).
+    """
+
+    drop_rate: float = 0.0
+    delay_rate: float = 0.0
+    #: Upper bound of an injected delay, seconds (uniform in [0, max]).
+    max_delay: float = 0.01
+    disconnect_rate: float = 0.0
+    partial_write_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "delay_rate", "disconnect_rate", "partial_write_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {rate!r}")
+        if self.max_delay < 0:
+            raise ValueError("max_delay must be >= 0")
+
+
+class ChaosTransport:
+    """A fault-injecting TCP proxy in front of a routing daemon.
+
+    Parameters
+    ----------
+    target_host, target_port:
+        The real daemon's address.
+    config:
+        Fault probabilities and the RNG seed.
+
+    Usage::
+
+        chaos = ChaosTransport(host, port, ChaosConfig(drop_rate=0.2, seed=7))
+        await chaos.start()
+        client = ServeClient(*chaos.address, retry=policy, timeout=0.5)
+
+    ``injected`` counts the faults actually fired, so tests can assert
+    the run was genuinely hostile rather than accidentally fault-free.
+    """
+
+    def __init__(
+        self, target_host: str, target_port: int, config: Optional[ChaosConfig] = None
+    ) -> None:
+        self.target_host = target_host
+        self.target_port = target_port
+        self.config = config or ChaosConfig()
+        self._rng = random.Random(self.config.seed)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.address: Optional[Tuple[str, int]] = None
+        self._conn_tasks: Set["asyncio.Task[None]"] = set()
+        self.injected: Dict[str, int] = {
+            "lines": 0,
+            "drops": 0,
+            "delays": 0,
+            "partial_writes": 0,
+            "disconnects": 0,
+        }
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> "ChaosTransport":
+        self._server = await asyncio.start_server(
+            self._on_connection, host, port, limit=MAX_LINE_BYTES
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in tuple(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._conn_tasks.clear()
+
+    async def __aenter__(self) -> "ChaosTransport":
+        return await self.start()
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.stop()
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            up_reader, up_writer = await asyncio.open_connection(
+                self.target_host, self.target_port, limit=MAX_LINE_BYTES
+            )
+        except OSError:
+            writer.close()
+            return
+        writers = (writer, up_writer)
+        pumps = (
+            asyncio.ensure_future(self._pump(reader, up_writer, writers)),
+            asyncio.ensure_future(self._pump(up_reader, writer, writers)),
+        )
+        for pump in pumps:
+            self._conn_tasks.add(pump)
+            pump.add_done_callback(self._conn_tasks.discard)
+        await asyncio.gather(*pumps, return_exceptions=True)
+        for side in writers:
+            _close_quietly(side)
+
+    async def _pump(
+        self,
+        reader: asyncio.StreamReader,
+        dest: asyncio.StreamWriter,
+        writers: Tuple[asyncio.StreamWriter, asyncio.StreamWriter],
+    ) -> None:
+        cfg = self.config
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.endswith(b"\n"):
+                    # Upstream EOF mid-line: forward the fragment verbatim
+                    # and stop (the reader sees the same truncation).
+                    dest.write(line)
+                    await dest.drain()
+                    break
+                self.injected["lines"] += 1
+                roll = self._rng.random
+                if cfg.drop_rate and roll() < cfg.drop_rate:
+                    self.injected["drops"] += 1
+                    continue
+                if cfg.disconnect_rate and roll() < cfg.disconnect_rate:
+                    self.injected["disconnects"] += 1
+                    for side in writers:
+                        _close_quietly(side)
+                    break
+                if cfg.partial_write_rate and roll() < cfg.partial_write_rate:
+                    self.injected["partial_writes"] += 1
+                    cut = 1 + self._rng.randrange(max(len(line) - 1, 1))
+                    dest.write(line[:cut])
+                    await dest.drain()
+                    for side in writers:
+                        _close_quietly(side)
+                    break
+                if cfg.delay_rate and roll() < cfg.delay_rate:
+                    self.injected["delays"] += 1
+                    await asyncio.sleep(self._rng.uniform(0.0, cfg.max_delay))
+                dest.write(line)
+                await dest.drain()
+        except (OSError, asyncio.CancelledError, ValueError):
+            pass
+        finally:
+            _close_quietly(dest)
+
+
+def _close_quietly(writer: asyncio.StreamWriter) -> None:
+    try:
+        if not writer.is_closing():
+            writer.close()
+    except Exception:  # pragma: no cover - transport already dead
+        pass

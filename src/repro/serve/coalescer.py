@@ -40,6 +40,9 @@ class PendingRoute:
 
     pairs: Sequence[Pair]
     future: "asyncio.Future[Any]"
+    #: Absolute ``loop.time()`` after which the request is worthless; the
+    #: daemon's flush drops expired entries instead of routing them.
+    deadline: Optional[float] = None
 
 
 @dataclass
@@ -119,11 +122,19 @@ class RouteCoalescer:
         """Endpoint pairs currently buffered (the ``status`` queue depth)."""
         return self._pending_pairs
 
-    async def submit(self, pairs: Sequence[Pair]) -> Any:
-        """Buffer one request's pairs; resolves with its slice of the flush."""
+    async def submit(
+        self, pairs: Sequence[Pair], *, deadline: Optional[float] = None
+    ) -> Any:
+        """Buffer one request's pairs; resolves with its slice of the flush.
+
+        *deadline* is an absolute ``loop.time()``; the flush callback may
+        drop entries whose deadline passed while they were buffered.
+        """
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[Any]" = loop.create_future()
-        self._pending.append(PendingRoute(pairs=pairs, future=future))
+        self._pending.append(
+            PendingRoute(pairs=pairs, future=future, deadline=deadline)
+        )
         self._pending_pairs += len(pairs)
         self.stats.requests += 1
         self.stats.pairs += len(pairs)

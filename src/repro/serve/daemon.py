@@ -28,13 +28,38 @@ rings of the routing facade) and serves verbs over the protocol of
 The daemon is fully usable in-process (``await daemon.handle(request)``,
 or the :class:`~repro.serve.client.InProcessClient` wrapper) -- the TCP
 layer is only engaged by :meth:`start`.
+
+Resilience (see also :mod:`repro.serve.journal` and
+:mod:`repro.serve.retry`):
+
+* **Admission control** -- route requests beyond ``max_pending``
+  buffered pairs are shed with ``overloaded`` plus a ``retry_after``
+  backoff hint instead of queueing unboundedly, and each TCP connection
+  is limited to ``max_inflight`` concurrently-served requests (the
+  reader stops consuming lines until one finishes -- transport-level
+  backpressure).
+* **Deadline propagation** -- a ``route`` request may carry
+  ``deadline_ms``; entries whose deadline passes while buffered are
+  dropped at flush time with ``deadline-exceeded`` instead of wasting
+  engine work on an answer nobody is waiting for.
+* **Exactly-once mutations** -- mutating verbs may carry a
+  client-supplied ``idem`` id; duplicates (a retry whose original
+  response was lost) replay the journaled payload without re-applying.
+* **Graceful degradation** -- an engine exception inside a coalesced
+  flush falls back to re-routing the batch on the scalar engine
+  (``degraded_flushes`` counts the events in ``status``).
+* **Crash recovery** -- with a ``journal``, every applied mutation is
+  appended to an NDJSON event log (snapshot every ``snapshot_every``
+  events); :meth:`recover` rebuilds the exact session state of a killed
+  daemon and keeps appending to the same file.
 """
 
 from __future__ import annotations
 
 import asyncio
-from collections import Counter
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from collections import Counter, OrderedDict
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -49,12 +74,20 @@ from repro.routing.engine import (
 )
 from repro.routing.traffic import TrafficBatch
 from repro.serve.coalescer import Pair, PendingRoute, RouteCoalescer
+from repro.serve.journal import (
+    IDEM_CACHE_SIZE,
+    Journal,
+    load_journal,
+    replay_events,
+)
 from repro.serve.protocol import (
     E_BAD_LINKS,
     E_BAD_NODES,
     E_BAD_PAIR,
     E_BAD_REQUEST,
+    E_DEADLINE,
     E_INTERNAL,
+    E_OVERLOADED,
     E_SHUTTING_DOWN,
     E_UNKNOWN_OP,
     MAX_LINE_BYTES,
@@ -95,6 +128,22 @@ class RouteDaemon:
     host, port:
         TCP bind address used by :meth:`start` (``port=0`` picks a free
         port, readable from :attr:`address`).
+    max_pending:
+        Admission-control cap on buffered route pairs: a ``route``
+        request that would push the coalescer queue past this is shed
+        with ``overloaded`` + ``retry_after`` instead of queueing.
+    max_inflight:
+        Per-TCP-connection cap on concurrently-served requests; the
+        connection's reader stops consuming lines (transport
+        backpressure) until one completes.
+    journal:
+        Path (or open :class:`~repro.serve.journal.Journal`) of the
+        append-only mutation log.  A fresh file is seeded with a
+        snapshot of the current session; a path that already holds
+        records is refused -- use :meth:`recover` for those.
+    snapshot_every:
+        Journal a fresh state snapshot after this many events, bounding
+        the replay tail of a recovery.
     """
 
     def __init__(
@@ -109,6 +158,10 @@ class RouteDaemon:
         max_batch: int = 256,
         host: str = "127.0.0.1",
         port: int = 0,
+        max_pending: int = 4096,
+        max_inflight: int = 64,
+        journal: Optional[Union[str, Path, Journal]] = None,
+        snapshot_every: int = 64,
     ) -> None:
         if session is None:
             if scenario is not None:
@@ -124,6 +177,15 @@ class RouteDaemon:
         self.engine = engine
         self.host = host
         self.port = port
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")
+        self.max_pending = max_pending
+        self.max_inflight = max_inflight
+        self.snapshot_every = snapshot_every
         self.coalescer = RouteCoalescer(
             self._flush_routes, window=window, max_batch=max_batch
         )
@@ -135,18 +197,96 @@ class RouteDaemon:
         self._stopped: Optional[asyncio.Event] = None
         self._started_at: Optional[float] = None
         self._last_engine = ""
+        # Resilience counters surfaced by the status verb.
+        self.shed_requests = 0
+        self.expired_routes = 0
+        self.degraded_flushes = 0
+        # Idempotency cache: client id -> the mutation payload it produced.
+        self._idem: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._events_since_snapshot = 0
+        self.recovered: Optional[Dict[str, Any]] = None
+        if journal is None:
+            self.journal: Optional[Journal] = None
+        elif isinstance(journal, Journal):
+            self.journal = journal
+        else:
+            self.journal = Journal(journal)
+            if self.journal.had_records:
+                raise ValueError(
+                    f"journal {journal} already holds records; use "
+                    "RouteDaemon.recover() to resume from it"
+                )
+        if self.journal is not None and not self.journal.had_records:
+            self.journal.append_snapshot(session.state())
 
     # -- routing ---------------------------------------------------------------------
+
+    @staticmethod
+    def _batch_outcomes(router_obj, batch: TrafficBatch) -> List[Dict[str, Any]]:
+        outcome = route_batch(router_obj, batch)
+        delivered = outcome.status == 1
+        return [
+            {
+                "delivered": bool(delivered[i]),
+                "reason": REASONS[int(outcome.status[i])],
+                "hops": int(outcome.hops[i]),
+                "abnormal_hops": int(outcome.abnormal_hops[i]),
+                "minimal_hops": int(outcome.minimal_hops[i]),
+            }
+            for i in range(len(outcome))
+        ]
+
+    @staticmethod
+    def _scalar_outcomes(router_obj, batch: TrafficBatch) -> List[Dict[str, Any]]:
+        routes = []
+        for source, destination in batch.pairs():
+            result = router_obj.route(source, destination)
+            routes.append(
+                {
+                    "delivered": result.delivered,
+                    "reason": result.reason,
+                    "hops": result.hops,
+                    "abnormal_hops": result.abnormal_hops,
+                    # hops - detour == the fault-free Manhattan distance.
+                    "minimal_hops": result.hops - result.detour,
+                }
+            )
+        return routes
 
     def _flush_routes(self, pending: List[PendingRoute]) -> None:
         """Route the concatenated pairs of one coalesced flush.
 
         Runs synchronously on the event loop (the kernel is CPU-bound).
         Each request's pairs occupy a contiguous slice of the batch, so
-        fanning outcomes back is pure slicing.
+        fanning outcomes back is pure slicing.  Entries whose
+        ``deadline`` passed while buffered are dropped up front (no
+        engine work for answers nobody is waiting for), and an engine
+        exception degrades the flush to the scalar router instead of
+        failing every buffered request.
         """
+        try:
+            now = asyncio.get_running_loop().time()
+        except RuntimeError:  # pragma: no cover - flush outside a loop
+            now = None
+        live: List[PendingRoute] = []
+        for entry in pending:
+            if (
+                entry.deadline is not None
+                and now is not None
+                and now >= entry.deadline
+            ):
+                self.expired_routes += 1
+                entry.future.set_exception(
+                    ProtocolError(
+                        E_DEADLINE, "deadline expired while the request was buffered"
+                    )
+                )
+            else:
+                live.append(entry)
+        if not live:
+            return
         pairs = np.asarray(
-            [pair for entry in pending for pair in entry.pairs], dtype=np.int64
+            [pair for entry in live for pair in entry.pairs], dtype=np.int64
         ).reshape(-1, 4)
         batch = TrafficBatch(
             src_x=pairs[:, 0].copy(),
@@ -156,44 +296,32 @@ class RouteDaemon:
         )
         router_obj = self.session.routing.router(self.router, self.construction)
         spec = resolve_engine(router_obj, self.engine, False)
-        self._last_engine = spec.key
+        engine_key = spec.key
         routes: List[Dict[str, Any]]
-        if spec.key == "batch":
-            outcome = route_batch(router_obj, batch)
-            delivered = outcome.status == 1
-            routes = [
-                {
-                    "delivered": bool(delivered[i]),
-                    "reason": REASONS[int(outcome.status[i])],
-                    "hops": int(outcome.hops[i]),
-                    "abnormal_hops": int(outcome.abnormal_hops[i]),
-                    "minimal_hops": int(outcome.minimal_hops[i]),
-                }
-                for i in range(len(outcome))
-            ]
-        else:
-            routes = []
-            for source, destination in batch.pairs():
-                result = router_obj.route(source, destination)
-                routes.append(
-                    {
-                        "delivered": result.delivered,
-                        "reason": result.reason,
-                        "hops": result.hops,
-                        "abnormal_hops": result.abnormal_hops,
-                        # hops - detour == the fault-free Manhattan distance.
-                        "minimal_hops": result.hops - result.detour,
-                    }
-                )
+        try:
+            if engine_key == "batch":
+                routes = self._batch_outcomes(router_obj, batch)
+            else:
+                routes = self._scalar_outcomes(router_obj, batch)
+        except Exception:
+            # Graceful degradation: the batch kernel (or a custom engine)
+            # blew up mid-flush; re-run the whole batch on the scalar
+            # router, which shares none of the vectorized state.  A
+            # scalar failure still propagates to the coalescer, which
+            # fails the buffered futures individually.
+            self.degraded_flushes += 1
+            engine_key = "scalar"
+            routes = self._scalar_outcomes(router_obj, batch)
+        self._last_engine = engine_key
         version = self.session.version
         offset = 0
-        for entry in pending:
+        for entry in live:
             count = len(entry.pairs)
             entry.future.set_result(
                 {
                     "routes": routes[offset : offset + count],
                     "version": version,
-                    "engine": spec.key,
+                    "engine": engine_key,
                 }
             )
             offset += count
@@ -276,16 +404,41 @@ class RouteDaemon:
             payload = await handler(request)
             return ok_response(payload, request_id)
         except ProtocolError as exc:
-            return error_response(exc.code, str(exc), request_id)
+            return error_response(exc.code, str(exc), request_id, **exc.extra)
         except Exception as exc:  # noqa: BLE001 - daemon must not die on a verb
             return error_response(E_INTERNAL, f"{type(exc).__name__}: {exc}", request_id)
 
     async def _op_ping(self, request: Dict[str, Any]) -> Dict[str, Any]:
         return {"pong": True}
 
+    def _retry_after(self) -> float:
+        """Backoff hint attached to an ``overloaded`` shed: roughly the
+        time for the current backlog to flush (a few coalescer windows)."""
+        return round(max(self.coalescer.window * 4, 0.005), 6)
+
     async def _op_route(self, request: Dict[str, Any]) -> Dict[str, Any]:
         pairs = self._parse_pairs(request)
-        return await self.coalescer.submit(pairs)
+        if self.coalescer.queue_depth + len(pairs) > self.max_pending:
+            self.shed_requests += 1
+            raise ProtocolError(
+                E_OVERLOADED,
+                f"route queue is full ({self.coalescer.queue_depth} pairs "
+                f"buffered, cap {self.max_pending})",
+                retry_after=self._retry_after(),
+            )
+        deadline = None
+        if "deadline_ms" in request:
+            try:
+                deadline_ms = float(request["deadline_ms"])
+            except (TypeError, ValueError):
+                raise ProtocolError(
+                    E_BAD_REQUEST,
+                    f"deadline_ms must be a number: {request['deadline_ms']!r}",
+                )
+            deadline = (
+                asyncio.get_running_loop().time() + max(deadline_ms, 0.0) / 1000.0
+            )
+        return await self.coalescer.submit(pairs, deadline=deadline)
 
     def _mutation_payload(self, changed: List[Coord], key: str) -> Dict[str, Any]:
         return {
@@ -294,28 +447,68 @@ class RouteDaemon:
             "num_faults": self.session.num_faults,
         }
 
+    def _apply_mutation(self, op: str, request: Dict[str, Any], apply) -> Dict[str, Any]:
+        """Exactly-once mutation plumbing shared by every mutating verb.
+
+        A duplicate ``idem`` id (a client retry whose original response
+        was lost in transit) replays the cached payload without touching
+        the session; a fresh mutation flushes buffered routes (they were
+        submitted under the pre-mutation state), applies, journals the
+        resolved payload, and snapshots periodically.
+        """
+        idem = request.get("idem")
+        if idem is not None:
+            cached = self._idem.get(idem)
+            if cached is not None:
+                self._idem.move_to_end(idem)
+                return {**cached, "idempotent_replay": True}
+        self.coalescer.flush_now()
+        payload = apply()
+        if idem is not None:
+            self._idem[idem] = payload
+            while len(self._idem) > IDEM_CACHE_SIZE:
+                self._idem.popitem(last=False)
+        if self.journal is not None:
+            self.journal.append_event(op, payload, idem)
+            self._events_since_snapshot += 1
+            if self._events_since_snapshot >= self.snapshot_every:
+                self.journal.append_snapshot(
+                    self.session.state(), dict(self._idem)
+                )
+                self._events_since_snapshot = 0
+        return payload
+
     async def _op_add_faults(self, request: Dict[str, Any]) -> Dict[str, Any]:
         nodes = self._parse_nodes(request)
-        # Buffered routes were submitted before this mutation: flush them
-        # against the pre-mutation state first.
-        self.coalescer.flush_now()
-        return self._mutation_payload(self.session.add_faults(nodes), "added")
+        return self._apply_mutation(
+            "add_faults",
+            request,
+            lambda: self._mutation_payload(self.session.add_faults(nodes), "added"),
+        )
 
     async def _op_repair(self, request: Dict[str, Any]) -> Dict[str, Any]:
         nodes = self._parse_nodes(request)
-        self.coalescer.flush_now()
-        return self._mutation_payload(self.session.remove_faults(nodes), "removed")
+        return self._apply_mutation(
+            "repair",
+            request,
+            lambda: self._mutation_payload(
+                self.session.remove_faults(nodes), "removed"
+            ),
+        )
 
     async def _op_add_link_faults(self, request: Dict[str, Any]) -> Dict[str, Any]:
         links = self._parse_links(request)
-        self.coalescer.flush_now()
-        try:
-            added = self.session.add_link_faults(
-                links, prefer_lower=bool(request.get("prefer_lower", True))
-            )
-        except ValueError as exc:
-            raise ProtocolError(E_BAD_LINKS, str(exc))
-        return self._mutation_payload(added, "added")
+
+        def apply() -> Dict[str, Any]:
+            try:
+                added = self.session.add_link_faults(
+                    links, prefer_lower=bool(request.get("prefer_lower", True))
+                )
+            except ValueError as exc:
+                raise ProtocolError(E_BAD_LINKS, str(exc))
+            return self._mutation_payload(added, "added")
+
+        return self._apply_mutation("add_link_faults", request, apply)
 
     async def _op_status(self, request: Dict[str, Any]) -> Dict[str, Any]:
         loop = asyncio.get_running_loop()
@@ -330,6 +523,18 @@ class RouteDaemon:
             "queue_depth": self.coalescer.queue_depth,
             "coalescer": self.coalescer.stats.as_dict(),
             "requests": dict(self.op_counts),
+            "admission": {
+                "max_pending": self.max_pending,
+                "max_inflight": self.max_inflight,
+                "shed_requests": self.shed_requests,
+                "expired_routes": self.expired_routes,
+            },
+            "degraded_flushes": self.degraded_flushes,
+            "journal": (
+                None if self.journal is None else self.journal.info()
+            ),
+            "recovered": self.recovered,
+            "fingerprint": session.fingerprint(),
             "mesh": {
                 "width": topology.width,
                 "height": topology.height,
@@ -372,6 +577,41 @@ class RouteDaemon:
         asyncio.get_running_loop().create_task(self.stop())
         return {"stopping": True}
 
+    # -- crash recovery --------------------------------------------------------------
+
+    @classmethod
+    def recover(cls, journal: Union[str, Path], **kwargs: Any) -> "RouteDaemon":
+        """Rebuild a daemon from its journal and keep appending to it.
+
+        Loads the newest intact snapshot, replays the event tail through
+        the same session mutations the crashed daemon applied (verifying
+        the journaled post-versions along the way), restores the
+        idempotency cache, and returns a daemon whose session state --
+        witnessed by :meth:`MeshSession.fingerprint` -- is bit-identical
+        to the state at the last journaled mutation.  ``kwargs`` are the
+        usual constructor knobs (construction, router, window, ports,
+        admission caps, ...); ``session``/``scenario``/``journal`` are
+        owned by the recovery.
+        """
+        for owned in ("session", "scenario", "journal"):
+            if owned in kwargs:
+                raise TypeError(f"recover() owns the {owned!r} argument")
+        path = Path(journal)
+        loaded = load_journal(path)
+        session = MeshSession.from_state(loaded.state)
+        replayed = replay_events(session, loaded.events)
+        journal_obj = Journal(path)
+        journal_obj.seq = loaded.seq
+        daemon = cls(session, journal=journal_obj, **kwargs)
+        daemon._idem = OrderedDict(loaded.idem)
+        daemon.recovered = {
+            "events_replayed": replayed,
+            "snapshot_version": int(loaded.state["version"]),
+            "truncated_lines": loaded.truncated_lines,
+            "records": loaded.records,
+        }
+        return daemon
+
     # -- TCP layer -------------------------------------------------------------------
 
     @property
@@ -412,6 +652,8 @@ class RouteDaemon:
             await self._server.wait_closed()
         for writer in tuple(self._writers):
             writer.close()
+        if self.journal is not None:
+            self.journal.close()
         if self._stopped is not None:
             self._stopped.set()
 
@@ -438,6 +680,14 @@ class RouteDaemon:
                     break
                 if not line.strip():
                     continue
+                # Per-connection in-flight cap: stop consuming lines until
+                # a served request completes.  The unread bytes back up
+                # the socket -- transport-level backpressure, so one
+                # flooding connection cannot queue unbounded work.
+                while len(tasks) >= self.max_inflight:
+                    await asyncio.wait(
+                        tuple(tasks), return_when=asyncio.FIRST_COMPLETED
+                    )
                 task = asyncio.ensure_future(
                     self._serve_line(line, writer, write_lock)
                 )

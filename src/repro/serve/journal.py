@@ -1,0 +1,237 @@
+"""Crash-recoverable daemon state: NDJSON event journal plus snapshots.
+
+The daemon's session state is a pure function of its topology and the
+ordered mutation history, so durability does not need a database: an
+append-only file of newline-delimited JSON records -- one snapshot of
+the session state up front, one *event* record per applied mutation
+(``add_faults`` / ``repair`` / ``add_link_faults``), and a fresh
+snapshot every ``snapshot_every`` events so recovery never replays an
+unbounded tail -- is enough to rebuild the exact session a crashed
+daemon was serving.
+
+Record shapes (one JSON object per line)::
+
+    {"t": "snapshot", "seq": 12, "state": {...}, "idem": {...}}
+    {"t": "event", "seq": 13, "op": "add_faults", "idem": "c3f1-0",
+     "payload": {"added": [[4, 4]], "version": 3, "num_faults": 9}}
+
+Events record the *resolved* mutation -- the nodes actually added or
+removed -- not the raw request, so replay applies exactly what the
+original daemon applied (link faults replay the endpoint nodes the
+mapping chose at the time, idempotent duplicates replay as no-ops).
+Snapshots carry the daemon's idempotency cache, so a retried mutating
+request keeps deduplicating across a crash.
+
+Appends are flushed per record: a ``kill -9`` loses at most the line
+being written, and :func:`load_journal` tolerates exactly that -- an
+undecodable *final* line is dropped (counted in ``truncated_lines``);
+garbage anywhere else raises :class:`JournalError`, because a
+mid-journal hole would silently desync the replay.
+
+:meth:`RouteDaemon.recover(path) <repro.serve.daemon.RouteDaemon.recover>`
+is the consumer: load the last snapshot, replay the events after it,
+verify every event's recorded post-version matches the replayed
+session's, and keep appending to the same file.  The recovered session's
+:meth:`~repro.api.session.MeshSession.fingerprint` is bit-identical to
+an uninterrupted oracle's -- the differential ``tests/
+test_serve_resilience.py`` asserts.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+SCHEMA = "repro.serve.journal/v1"
+
+#: Idempotency entries retained in memory and in snapshots (LRU).
+IDEM_CACHE_SIZE = 1024
+
+
+class JournalError(RuntimeError):
+    """An unusable journal: mid-file corruption or an inconsistent replay."""
+
+
+def _encode_record(record: Dict[str, Any]) -> bytes:
+    return json.dumps(record, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+class Journal:
+    """Append-only NDJSON journal of daemon mutations and snapshots.
+
+    Opening a path appends to whatever is already there (recovery hands
+    the loaded file straight back for continued writing); whether the
+    file held records at open time is exposed as :attr:`had_records`, so
+    the daemon knows to seed a fresh journal with an initial snapshot.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.had_records = self.path.exists() and self.path.stat().st_size > 0
+        self._file = open(self.path, "ab")
+        self.seq = 0
+        self.events_written = 0
+        self.snapshots_written = 0
+        self._closed = False
+
+    def append_event(
+        self, op: str, payload: Dict[str, Any], idem: Optional[str] = None
+    ) -> None:
+        """Journal one applied mutation (flushed before returning)."""
+        self.seq += 1
+        record: Dict[str, Any] = {"t": "event", "seq": self.seq, "op": op}
+        if idem is not None:
+            record["idem"] = idem
+        record["payload"] = payload
+        self._write(record)
+        self.events_written += 1
+
+    def append_snapshot(
+        self, state: Dict[str, Any], idem: Optional[Dict[str, Any]] = None
+    ) -> None:
+        """Journal a full state snapshot (future recoveries replay from here)."""
+        self.seq += 1
+        record: Dict[str, Any] = {
+            "t": "snapshot",
+            "seq": self.seq,
+            "schema": SCHEMA,
+            "state": state,
+        }
+        if idem:
+            record["idem"] = dict(idem)
+        self._write(record)
+        self.snapshots_written += 1
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        if self._closed:
+            raise JournalError("journal is closed")
+        self._file.write(_encode_record(record))
+        # One flush per record: a killed process loses at most the line
+        # being written (load_journal drops a truncated tail).
+        self._file.flush()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._file.close()
+
+    def info(self) -> Dict[str, Any]:
+        """Counters for the daemon's ``status`` payload."""
+        return {
+            "path": str(self.path),
+            "seq": self.seq,
+            "events_written": self.events_written,
+            "snapshots_written": self.snapshots_written,
+        }
+
+
+@dataclass
+class LoadedJournal:
+    """The replayable content of a journal file."""
+
+    #: Session state of the newest intact snapshot.
+    state: Dict[str, Any]
+    #: Event records after that snapshot, in append order.
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    #: Idempotency cache: snapshot entries plus post-snapshot events.
+    idem: "OrderedDict[str, Dict[str, Any]]" = field(default_factory=OrderedDict)
+    #: Highest sequence number seen (appends continue above it).
+    seq: int = 0
+    #: Undecodable trailing lines dropped (0 or 1: a torn final write).
+    truncated_lines: int = 0
+    #: Total records parsed, snapshots included.
+    records: int = 0
+
+
+def load_journal(path: Union[str, Path]) -> LoadedJournal:
+    """Parse a journal file into its newest snapshot plus the event tail.
+
+    Raises :class:`JournalError` when the file is empty, starts with
+    something other than a snapshot, or is corrupt anywhere but the
+    final line (a torn final write is dropped and counted).
+    """
+    path = Path(path)
+    raw_lines = path.read_bytes().split(b"\n")
+    if raw_lines and raw_lines[-1] == b"":
+        raw_lines.pop()
+    records: List[Dict[str, Any]] = []
+    truncated = 0
+    for index, line in enumerate(raw_lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line.decode("utf-8"))
+            if not isinstance(record, dict) or "t" not in record:
+                raise ValueError("not a journal record")
+        except (UnicodeDecodeError, ValueError) as exc:
+            if index == len(raw_lines) - 1:
+                truncated += 1
+                break
+            raise JournalError(
+                f"corrupt journal record at line {index + 1} of {path}: {exc}"
+            )
+        records.append(record)
+    if not records:
+        raise JournalError(f"journal {path} holds no intact records")
+
+    snapshot_at: Optional[int] = None
+    for index, record in enumerate(records):
+        if record["t"] == "snapshot":
+            snapshot_at = index
+    if snapshot_at is None:
+        raise JournalError(f"journal {path} holds no snapshot record")
+
+    snapshot = records[snapshot_at]
+    loaded = LoadedJournal(
+        state=snapshot["state"],
+        seq=max(int(record.get("seq", 0)) for record in records),
+        truncated_lines=truncated,
+        records=len(records),
+    )
+    for key, payload in (snapshot.get("idem") or {}).items():
+        loaded.idem[key] = payload
+    for record in records[snapshot_at + 1 :]:
+        if record["t"] != "event":
+            continue
+        loaded.events.append(record)
+        idem = record.get("idem")
+        if idem is not None:
+            loaded.idem[idem] = record["payload"]
+            while len(loaded.idem) > IDEM_CACHE_SIZE:
+                loaded.idem.popitem(last=False)
+    return loaded
+
+
+def replay_events(session, events: List[Dict[str, Any]]) -> int:
+    """Apply journal *events* to *session*, verifying version agreement.
+
+    Events carry the resolved node lists, so replay is transport- and
+    mapping-independent: ``repair`` removes the recorded ``removed``
+    nodes, everything else adds the recorded ``added`` nodes.  After
+    each event the session's version must equal the version the original
+    daemon journaled -- a mismatch means the journal and the replay
+    diverged, which is unrecoverable, so :class:`JournalError` is raised
+    rather than serving silently wrong state.  Returns the number of
+    events applied.
+    """
+    for event in events:
+        payload = event["payload"]
+        if event["op"] == "repair":
+            session.remove_faults(
+                (int(x), int(y)) for x, y in payload.get("removed", ())
+            )
+        else:
+            session.add_faults(
+                (int(x), int(y)) for x, y in payload.get("added", ())
+            )
+        expected = payload.get("version")
+        if expected is not None and session.version != expected:
+            raise JournalError(
+                f"replay diverged at seq {event.get('seq')}: session version "
+                f"{session.version} != journaled {expected}"
+            )
+    return len(events)

@@ -33,6 +33,8 @@ E_BAD_NODES = "bad-nodes"  #: malformed fault / repair coordinates
 E_BAD_LINKS = "bad-links"  #: malformed or non-adjacent link endpoints
 E_SHUTTING_DOWN = "shutting-down"  #: request arrived after drain began
 E_INTERNAL = "internal"  #: unexpected server-side failure
+E_OVERLOADED = "overloaded"  #: admission control shed the request (see ``retry_after``)
+E_DEADLINE = "deadline-exceeded"  #: the request's ``deadline_ms`` passed before routing
 
 #: Hard cap on one request line; a line longer than this is rejected
 #: instead of buffered (protects the daemon from unbounded payloads).
@@ -40,11 +42,16 @@ MAX_LINE_BYTES = 8 * 1024 * 1024
 
 
 class ProtocolError(ValueError):
-    """A malformed request, carrying its protocol error ``code``."""
+    """A rejected request, carrying its protocol error ``code``.
 
-    def __init__(self, code: str, message: str) -> None:
+    ``extra`` keys (e.g. the ``retry_after`` hint of an ``overloaded``
+    shed) are merged into the response's ``error`` object.
+    """
+
+    def __init__(self, code: str, message: str, **extra: Any) -> None:
         super().__init__(message)
         self.code = code
+        self.extra = extra
 
 
 def encode(message: Dict[str, Any]) -> bytes:
@@ -64,13 +71,16 @@ def decode_line(line: bytes) -> Dict[str, Any]:
 
 
 def error_response(
-    code: str, message: str, request_id: Optional[Any] = None
+    code: str, message: str, request_id: Optional[Any] = None, **extra: Any
 ) -> Dict[str, Any]:
-    """Build the standard error-response shape."""
-    response: Dict[str, Any] = {
-        "ok": False,
-        "error": {"code": code, "message": message},
-    }
+    """Build the standard error-response shape.
+
+    ``extra`` keys land inside the ``error`` object (e.g. the
+    ``retry_after`` backoff hint accompanying an ``overloaded`` shed).
+    """
+    error: Dict[str, Any] = {"code": code, "message": message}
+    error.update(extra)
+    response: Dict[str, Any] = {"ok": False, "error": error}
     if request_id is not None:
         response["id"] = request_id
     return response

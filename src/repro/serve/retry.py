@@ -1,0 +1,132 @@
+"""Retry policies: exponential backoff with deterministic seeded jitter.
+
+:class:`RetryPolicy` is the one backoff description shared by every
+retrying code path of the serving layer -- :class:`~repro.serve.client.
+ServeClient` request retries and reconnects, the ``repro-mesh query
+--wait`` connection grace, and the chaos differential tests.  A policy is
+an immutable description; each request materialises it into a
+:class:`RetrySchedule`, which owns the attempt counter, the deadline
+clock and the seeded jitter RNG, so two schedules built from the same
+seeded policy produce *identical* delay sequences (the determinism the
+fault-injection differentials rely on).
+
+The delay before attempt ``n+1`` is::
+
+    min(max_delay, base_delay * multiplier ** (n - 1)) * (1 - jitter * U)
+
+with ``U`` drawn from ``random.Random(seed)`` -- jitter only ever
+*shortens* a delay, so ``max_delay`` and the ``deadline`` cap are hard
+bounds.  ``max_attempts=None`` means attempts are unbounded and only the
+``deadline`` (total seconds across all attempts) ends the schedule.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, Optional
+
+#: Protocol error codes a retrying client treats as transient by default:
+#: the daemon shed the request under overload and said to come back.
+DEFAULT_RETRY_CODES: FrozenSet[str] = frozenset({"overloaded"})
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with seeded jitter and hard caps.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts (the first try included); ``None`` = unbounded,
+        in which case *deadline* must be set.
+    base_delay, multiplier, max_delay:
+        The exponential schedule: the n-th retry waits
+        ``min(max_delay, base_delay * multiplier**(n-1))`` seconds.
+    deadline:
+        Hard cap on the total seconds a schedule may spend, measured
+        from its creation; a delay is clipped to the remaining budget
+        and the schedule ends once the budget is spent.
+    jitter:
+        Fraction of each delay randomised away (0 = none, 1 = anywhere
+        in ``(0, delay]``).  Jitter only shortens delays.
+    seed:
+        Seed of the jitter RNG; schedules built from the same seeded
+        policy produce identical delay sequences.  ``None`` = OS
+        entropy.
+    retry_codes:
+        Protocol error codes the client additionally retries on
+        (``ok: false`` responses are otherwise terminal).
+    """
+
+    max_attempts: Optional[int] = 5
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    deadline: Optional[float] = None
+    jitter: float = 0.5
+    seed: Optional[int] = None
+    retry_codes: FrozenSet[str] = field(default=DEFAULT_RETRY_CODES)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts is None and self.deadline is None:
+            raise ValueError("max_attempts=None requires a deadline")
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be > 0")
+        object.__setattr__(self, "retry_codes", frozenset(self.retry_codes))
+
+    def schedule(self, clock: Callable[[], float] = time.monotonic) -> "RetrySchedule":
+        """Materialise one request's attempt schedule (clock injectable)."""
+        return RetrySchedule(self, clock=clock)
+
+
+class RetrySchedule:
+    """One request's pass through a :class:`RetryPolicy`.
+
+    ``next_delay()`` returns the seconds to sleep before the next
+    attempt, or ``None`` once the policy is exhausted (attempt budget
+    spent or deadline passed).  :attr:`attempt` counts the attempts
+    already made (1 after the first try).
+    """
+
+    def __init__(
+        self, policy: RetryPolicy, *, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        self.policy = policy
+        self.attempt = 1
+        self._clock = clock
+        self._started = clock()
+        self._rng = random.Random(policy.seed)
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the schedule was created."""
+        return self._clock() - self._started
+
+    def next_delay(self) -> Optional[float]:
+        """Delay before the next attempt, or ``None`` to give up."""
+        policy = self.policy
+        if policy.max_attempts is not None and self.attempt >= policy.max_attempts:
+            return None
+        delay = min(
+            policy.max_delay,
+            policy.base_delay * policy.multiplier ** (self.attempt - 1),
+        )
+        if policy.jitter:
+            delay *= 1.0 - policy.jitter * self._rng.random()
+        if policy.deadline is not None:
+            remaining = policy.deadline - self.elapsed
+            if remaining <= 0:
+                return None
+            delay = min(delay, remaining)
+        self.attempt += 1
+        return delay
