@@ -227,6 +227,66 @@ def run_churn(scenario, events, messages: int, seed: int, *, deltas: bool):
     return elapsed, fingerprints, info
 
 
+def bench_ring_append(args) -> dict:
+    """Progressive region encounters: incremental append vs full rebuild.
+
+    ``PackedRings.ensure`` extends its flat arrays in place when a round
+    encounters a new region; this times that path against the historical
+    every-round re-concatenation (forced via the ``_dirty`` flag the
+    fault-delta path uses) over the same encounter sequence, and checks
+    the resulting arrays are bit-identical.
+    """
+    from repro.mesh.topology import Mesh2D
+    from repro.routing.engine import PackedRings
+    from repro.routing.extended_ecube import ExtendedECubeRouter
+
+    rng = np.random.default_rng(args.seed + 3)
+    width = args.delta_width
+    regions, used = [], set()
+    while len(regions) < args.ring_regions:
+        x = int(rng.integers(1, width - 2))
+        y = int(rng.integers(1, width - 1))
+        cells = {(x, y), (x + 1, y)}
+        if cells & used:
+            continue
+        used |= cells
+        regions.append(sorted(cells))
+    router = ExtendedECubeRouter(Mesh2D(width, width), regions)
+
+    def encounter(force_rebuild: bool):
+        rings = PackedRings(router)
+        start = time.perf_counter()
+        for index in range(len(regions)):
+            if force_rebuild:
+                rings._dirty = True
+            rings.ensure(router, np.array([index]))
+        return time.perf_counter() - start, rings
+
+    encounter(False)  # warm the per-router ring geometry cache
+    append_s, appended = encounter(False)
+    rebuild_s, rebuilt = encounter(True)
+    identical = all(
+        np.array_equal(getattr(appended, name), getattr(rebuilt, name))
+        for name in (
+            "ring_x", "ring_y", "valid", "off_mesh", "geo_bits",
+            "entry_keys", "entry_positions",
+        )
+    )
+    report = {
+        "regions": len(regions),
+        "append_seconds": append_s,
+        "rebuild_seconds": rebuild_s,
+        "speedup": rebuild_s / append_s,
+        "identical": identical,
+    }
+    print(
+        f"   ring-append ({len(regions)} regions): append "
+        f"{append_s * 1000:7.2f} ms   rebuild {rebuild_s * 1000:7.2f} ms   "
+        f"speedup {report['speedup']:5.2f}x   identical {identical}"
+    )
+    return report
+
+
 def bench_deltas(args) -> dict:
     scenario = generate_scenario(
         num_faults=args.delta_faults,
@@ -270,6 +330,7 @@ def bench_deltas(args) -> dict:
         f"({report['updates_per_second_rebuild']:7.1f} upd/s)   "
         f"speedup {report['speedup']:5.2f}x   identical {identical}"
     )
+    report["ring_append"] = bench_ring_append(args)
     return report
 
 
@@ -464,6 +525,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--updates", type=int, default=12, help="churn events in the delta section"
+    )
+    parser.add_argument(
+        "--ring-regions", type=int, default=64,
+        help="regions encountered one-by-one in the ring-append "
+        "measurement of the delta section",
     )
     parser.add_argument(
         "--delta-messages", type=int, default=128,

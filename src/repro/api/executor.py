@@ -24,7 +24,7 @@ import dataclasses
 import multiprocessing
 import os
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.api.registry import (
     ConstructionSpec,
@@ -64,7 +64,7 @@ DEFAULT_ROUTING_MODELS: Tuple[str, ...] = ("fb", "fp", "mfp")
 Reducer = Callable[[int, str, List[Any]], Any]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TrialSpec:
     """Everything one worker needs to run one trial (picklable)."""
 
@@ -81,6 +81,14 @@ class TrialSpec:
     #: a fresh interpreter (non-fork start methods) can re-register custom
     #: constructions; empty means "resolve from the worker's registry".
     specs: Tuple[ConstructionSpec, ...] = ()
+    #: Position of this trial inside its sweep: index of the sweep point
+    #: (fault count / load) and trial number within the point.  Purely
+    #: bookkeeping -- the seed already encodes both -- but carrying them
+    #: explicitly lets reductions key results by identity instead of by
+    #: list position, so out-of-order (streamed) results reduce correctly.
+    #: ``-1`` marks a hand-built spec outside any sweep.
+    point_index: int = -1
+    trial: int = -1
 
 
 def collect_scenario_metrics(
@@ -199,7 +207,7 @@ def sweep_point_reducer(num_faults: int, distribution: str, trials: List[Any]):
 # -- routing sweeps -----------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RoutingTrialSpec:
     """Everything one worker needs to run one routing trial (picklable).
 
@@ -233,6 +241,9 @@ class RoutingTrialSpec:
     router_spec: Optional[RouterSpec] = None
     traffic_spec: Optional[TrafficSpec] = None
     engine_spec: Optional[Any] = None
+    #: Sweep position (see :class:`TrialSpec`); ``-1`` = outside a sweep.
+    point_index: int = -1
+    trial: int = -1
 
 
 def run_routing_trial(spec: RoutingTrialSpec):
@@ -334,7 +345,7 @@ def routing_point_reducer(num_faults: int, distribution: str, trials: List[Any])
 DEFAULT_NETSIM_MODELS: Tuple[str, ...] = ("mfp",)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NetSimTrialSpec:
     """Everything one worker needs to run one contention trial (picklable).
 
@@ -371,6 +382,9 @@ class NetSimTrialSpec:
     traffic_spec: Optional[TrafficSpec] = None
     arrival_spec: Optional[TrafficSpec] = None
     sim_spec: Optional[Any] = None
+    #: Sweep position (see :class:`TrialSpec`); ``-1`` = outside a sweep.
+    point_index: int = -1
+    trial: int = -1
 
 
 def run_netsim_trial(spec: NetSimTrialSpec):
@@ -506,14 +520,47 @@ class SweepExecutor:
         include_rounds: bool = True,
     ) -> List[TrialSpec]:
         """Expand a sweep into its deterministic per-trial specs."""
+        return list(
+            self.iter_plan(
+                fault_counts,
+                trials,
+                width=width,
+                height=height,
+                distribution=distribution,
+                base_seed=base_seed,
+                torus=torus,
+                cluster_factor=cluster_factor,
+                include_rounds=include_rounds,
+            )
+        )
+
+    def iter_plan(
+        self,
+        fault_counts: Sequence[int],
+        trials: int,
+        *,
+        width: int = 100,
+        height: Optional[int] = None,
+        distribution: str = "random",
+        base_seed: int = 0,
+        torus: bool = False,
+        cluster_factor: float = 2.0,
+        include_rounds: bool = True,
+    ) -> Iterator[TrialSpec]:
+        """Stream the sweep's per-trial specs without materializing them.
+
+        The campaign runner plans 100k+-trial sweeps through this
+        generator so the parent never holds the whole plan; arguments
+        are validated eagerly (before the first ``next``).
+        """
         if trials < 1:
             raise ValueError("trials must be at least 1")
         construction_specs = tuple(get_construction(key) for key in self.models)
-        specs: List[TrialSpec] = []
-        for count_index, num_faults in enumerate(fault_counts):
-            for trial in range(trials):
-                specs.append(
-                    TrialSpec(
+
+        def generate() -> Iterator[TrialSpec]:
+            for count_index, num_faults in enumerate(fault_counts):
+                for trial in range(trials):
+                    yield TrialSpec(
                         num_faults=num_faults,
                         seed=derive_trial_seed(base_seed, count_index, trials, trial),
                         width=width,
@@ -524,9 +571,11 @@ class SweepExecutor:
                         models=self.models,
                         include_rounds=include_rounds,
                         specs=construction_specs,
+                        point_index=count_index,
+                        trial=trial,
                     )
-                )
-        return specs
+
+        return generate()
 
     def _map(self, runner: Callable[[Any], Any], specs: Sequence[Any]) -> List[Any]:
         """Run *runner* over the specs, serially or over a process pool."""
@@ -541,6 +590,33 @@ class SweepExecutor:
             context = multiprocessing.get_context()
         with context.Pool(processes=workers) as pool:
             return pool.map(runner, specs)
+
+    @staticmethod
+    def _reduce_by_identity(
+        axis: Sequence[Any],
+        distribution: str,
+        specs: Sequence[Any],
+        results: Sequence[Any],
+        reducer: Callable[[Any, str, List[Any]], Any],
+    ) -> List[Any]:
+        """Reduce ``(spec, result)`` pairs into one record per sweep point.
+
+        Results are keyed by each spec's carried ``(point_index, trial)``
+        identity rather than by list position, so any ordering of the
+        result stream -- ``pool.map``, out-of-order streaming, a resumed
+        campaign -- reduces to the same records.  Trials fold in trial
+        order within each point, which keeps the fold bit-identical to
+        the in-order serial run.
+        """
+        slots: Dict[int, Dict[int, Any]] = {}
+        for spec, result in zip(specs, results):
+            slots.setdefault(spec.point_index, {})[spec.trial] = result
+        points: List[Any] = []
+        for point_index, x in enumerate(axis):
+            by_trial = slots.get(point_index, {})
+            chunk = [by_trial[trial] for trial in sorted(by_trial)]
+            points.append(reducer(x, distribution, chunk))
+        return points
 
     def map_trials(self, specs: Sequence[TrialSpec]) -> List[Any]:
         """Run the trial specs, serially or over a process pool."""
@@ -566,15 +642,40 @@ class SweepExecutor:
         torus: bool = False,
         cluster_factor: float = 2.0,
         include_rounds: bool = True,
+        campaign: Optional[Any] = None,
     ) -> List[Any]:
         """Run the sweep and return one reduced record per fault count.
 
         With the default reducer the return value is a list of
         ``SweepPoint`` -- exactly what the figure-series builders consume.
+
+        Pass ``campaign=<directory>`` to route the sweep through the
+        resumable campaign runner: trials stream to a content-addressed
+        on-disk store under that directory, completed trials are skipped
+        on re-runs, and the reduced points are bit-identical to the
+        in-memory path.
         """
         # Materialise once: fault_counts is iterated for planning and again
         # for reduction, which would silently drain a generator input.
         fault_counts = list(fault_counts)
+        if campaign is not None:
+            from repro.campaign import CampaignRunner, CampaignSpec
+
+            spec = CampaignSpec.construction(
+                fault_counts=fault_counts,
+                trials=trials,
+                models=self.models,
+                width=width,
+                height=height,
+                distribution=distribution,
+                base_seed=base_seed,
+                torus=torus,
+                cluster_factor=cluster_factor,
+                include_rounds=include_rounds,
+            )
+            runner = CampaignRunner(spec, campaign, workers=self.workers)
+            runner.run()
+            return runner.sweep_points(reducer=self.reducer)
         specs = self.plan(
             fault_counts,
             trials,
@@ -587,11 +688,9 @@ class SweepExecutor:
             include_rounds=include_rounds,
         )
         results = self.map_trials(specs)
-        points: List[Any] = []
-        for count_index, num_faults in enumerate(fault_counts):
-            chunk = results[count_index * trials : (count_index + 1) * trials]
-            points.append(self.reducer(num_faults, distribution, chunk))
-        return points
+        return self._reduce_by_identity(
+            fault_counts, distribution, specs, results, self.reducer
+        )
 
     # -- routing sweeps --------------------------------------------------------------
 
@@ -623,6 +722,44 @@ class SweepExecutor:
         batch engines produce identical statistics, so the engine choice
         never affects the sweep results either).
         """
+        return list(
+            self.iter_plan_routing(
+                fault_counts,
+                trials,
+                width=width,
+                height=height,
+                distribution=distribution,
+                base_seed=base_seed,
+                torus=torus,
+                cluster_factor=cluster_factor,
+                router=router,
+                traffic=traffic,
+                messages=messages,
+                traffic_options=traffic_options,
+                router_options=router_options,
+                engine=engine,
+            )
+        )
+
+    def iter_plan_routing(
+        self,
+        fault_counts: Sequence[int],
+        trials: int,
+        *,
+        width: int = 100,
+        height: Optional[int] = None,
+        distribution: str = "random",
+        base_seed: int = 0,
+        torus: bool = False,
+        cluster_factor: float = 2.0,
+        router: str = "extended-ecube",
+        traffic: str = "uniform",
+        messages: int = 500,
+        traffic_options: Optional[TrafficOptions] = None,
+        router_options: Optional[RouterOptions] = None,
+        engine: Optional[str] = None,
+    ) -> Iterator[RoutingTrialSpec]:
+        """Stream a routing sweep's per-trial specs (see :meth:`iter_plan`)."""
         if trials < 1:
             raise ValueError("trials must be at least 1")
         router_spec = get_router(router)
@@ -638,11 +775,11 @@ class SweepExecutor:
                 engine_spec = get_engine(engine)
                 engine = engine_spec.key
         construction_specs = tuple(get_construction(key) for key in self.models)
-        specs: List[RoutingTrialSpec] = []
-        for count_index, num_faults in enumerate(fault_counts):
-            for trial in range(trials):
-                specs.append(
-                    RoutingTrialSpec(
+
+        def generate() -> Iterator[RoutingTrialSpec]:
+            for count_index, num_faults in enumerate(fault_counts):
+                for trial in range(trials):
+                    yield RoutingTrialSpec(
                         num_faults=num_faults,
                         seed=derive_trial_seed(base_seed, count_index, trials, trial),
                         width=width,
@@ -661,9 +798,11 @@ class SweepExecutor:
                         router_spec=router_spec,
                         traffic_spec=traffic_spec,
                         engine_spec=engine_spec,
+                        point_index=count_index,
+                        trial=trial,
                     )
-                )
-        return specs
+
+        return generate()
 
     def run_routing(
         self,
@@ -683,6 +822,7 @@ class SweepExecutor:
         router_options: Optional[RouterOptions] = None,
         engine: Optional[str] = None,
         reducer: Optional[Reducer] = None,
+        campaign: Optional[Any] = None,
     ) -> List[Any]:
         """Run a routing sweep and return one reduced record per fault count.
 
@@ -691,10 +831,35 @@ class SweepExecutor:
         (paired comparison).  With the default reducer the return value is
         a list of :class:`~repro.sim.metrics.RoutingSweepPoint`; pass
         *reducer* for a custom per-point reduction (it runs in the parent
-        process, so it does not need to be picklable).
+        process, so it does not need to be picklable).  ``campaign=``
+        routes the sweep through the resumable campaign store (see
+        :meth:`run`).
         """
         fault_counts = list(fault_counts)
         point_reducer: Reducer = reducer if reducer is not None else routing_point_reducer
+        if campaign is not None:
+            from repro.campaign import CampaignRunner, CampaignSpec
+
+            spec = CampaignSpec.routing(
+                fault_counts=fault_counts,
+                trials=trials,
+                models=self.models,
+                width=width,
+                height=height,
+                distribution=distribution,
+                base_seed=base_seed,
+                torus=torus,
+                cluster_factor=cluster_factor,
+                router=router,
+                traffic=traffic,
+                messages=messages,
+                traffic_options=traffic_options,
+                router_options=router_options,
+                engine=engine,
+            )
+            runner = CampaignRunner(spec, campaign, workers=self.workers)
+            runner.run()
+            return runner.sweep_points(reducer=point_reducer)
         specs = self.plan_routing(
             fault_counts,
             trials,
@@ -712,11 +877,9 @@ class SweepExecutor:
             engine=engine,
         )
         results = self.map_routing_trials(specs)
-        points: List[Any] = []
-        for count_index, num_faults in enumerate(fault_counts):
-            chunk = results[count_index * trials : (count_index + 1) * trials]
-            points.append(point_reducer(num_faults, distribution, chunk))
-        return points
+        return self._reduce_by_identity(
+            fault_counts, distribution, specs, results, point_reducer
+        )
 
     # -- latency-vs-load sweeps ------------------------------------------------------
 
@@ -753,6 +916,54 @@ class SweepExecutor:
         by load position), so the sweep is bit-identical at any worker
         count -- and under either simulator.
         """
+        return list(
+            self.iter_plan_latency(
+                loads,
+                trials,
+                num_faults=num_faults,
+                width=width,
+                height=height,
+                distribution=distribution,
+                base_seed=base_seed,
+                torus=torus,
+                cluster_factor=cluster_factor,
+                router=router,
+                traffic=traffic,
+                arrival=arrival,
+                cycles=cycles,
+                drain_factor=drain_factor,
+                messages=messages,
+                traffic_options=traffic_options,
+                arrival_options=arrival_options,
+                router_options=router_options,
+                sim=sim,
+            )
+        )
+
+    def iter_plan_latency(
+        self,
+        loads: Sequence[float],
+        trials: int,
+        *,
+        num_faults: int = 0,
+        width: int = 16,
+        height: Optional[int] = None,
+        distribution: str = "clustered",
+        base_seed: int = 0,
+        torus: bool = False,
+        cluster_factor: float = 2.0,
+        router: str = "extended-ecube",
+        traffic: str = "uniform",
+        arrival: str = "poisson",
+        cycles: int = 256,
+        drain_factor: int = 8,
+        messages: Optional[int] = None,
+        traffic_options: Optional[TrafficOptions] = None,
+        arrival_options: Optional[TrafficOptions] = None,
+        router_options: Optional[RouterOptions] = None,
+        sim: Optional[str] = None,
+    ) -> Iterator[NetSimTrialSpec]:
+        """Stream a latency sweep's per-trial specs (see :meth:`iter_plan`)."""
         if trials < 1:
             raise ValueError("trials must be at least 1")
         from repro.netsim.registry import get_simulator
@@ -769,11 +980,11 @@ class SweepExecutor:
                 sim_spec = get_simulator(sim)
                 sim = sim_spec.key
         construction_specs = tuple(get_construction(key) for key in self.models)
-        specs: List[NetSimTrialSpec] = []
-        for load_index, load in enumerate(loads):
-            for trial in range(trials):
-                specs.append(
-                    NetSimTrialSpec(
+
+        def generate() -> Iterator[NetSimTrialSpec]:
+            for load_index, load in enumerate(loads):
+                for trial in range(trials):
+                    yield NetSimTrialSpec(
                         load=float(load),
                         seed=derive_trial_seed(base_seed, load_index, trials, trial),
                         num_faults=num_faults,
@@ -798,9 +1009,11 @@ class SweepExecutor:
                         traffic_spec=traffic_spec,
                         arrival_spec=arrival_spec,
                         sim_spec=sim_spec,
+                        point_index=load_index,
+                        trial=trial,
                     )
-                )
-        return specs
+
+        return generate()
 
     def run_latency(
         self,
@@ -825,6 +1038,7 @@ class SweepExecutor:
         router_options: Optional[RouterOptions] = None,
         sim: Optional[str] = None,
         reducer: Optional[Callable[[float, str, List[Any]], Any]] = None,
+        campaign: Optional[Any] = None,
     ) -> List[Any]:
         """Run a latency-vs-load sweep: one reduced record per offered load.
 
@@ -834,9 +1048,39 @@ class SweepExecutor:
         reducer the return value is a list of
         :class:`~repro.sim.metrics.LatencySweepPoint` -- the
         latency-throughput curve of the classic interconnect evaluation.
+        ``campaign=`` routes the sweep through the resumable campaign
+        store (see :meth:`run`).
         """
         loads = [float(load) for load in loads]
         point_reducer = reducer if reducer is not None else latency_point_reducer
+        if campaign is not None:
+            from repro.campaign import CampaignRunner, CampaignSpec
+
+            spec = CampaignSpec.latency(
+                loads=loads,
+                trials=trials,
+                models=self.models,
+                num_faults=num_faults,
+                width=width,
+                height=height,
+                distribution=distribution,
+                base_seed=base_seed,
+                torus=torus,
+                cluster_factor=cluster_factor,
+                router=router,
+                traffic=traffic,
+                arrival=arrival,
+                cycles=cycles,
+                drain_factor=drain_factor,
+                messages=messages,
+                traffic_options=traffic_options,
+                arrival_options=arrival_options,
+                router_options=router_options,
+                sim=sim,
+            )
+            runner = CampaignRunner(spec, campaign, workers=self.workers)
+            runner.run()
+            return runner.sweep_points(reducer=point_reducer)
         specs = self.plan_latency(
             loads,
             trials,
@@ -859,8 +1103,6 @@ class SweepExecutor:
             sim=sim,
         )
         results = self.map_netsim_trials(specs)
-        points: List[Any] = []
-        for load_index, load in enumerate(loads):
-            chunk = results[load_index * trials : (load_index + 1) * trials]
-            points.append(point_reducer(load, distribution, chunk))
-        return points
+        return self._reduce_by_identity(
+            loads, distribution, specs, results, point_reducer
+        )

@@ -1,0 +1,473 @@
+"""Campaign identity: canonical specs, content-addressed trial keys.
+
+A *campaign* is a sweep at statistical scale: one axis (fault counts or
+offered loads), ``trials`` independently seeded trials per point, run
+through the same per-trial workers as :class:`~repro.api.executor.
+SweepExecutor` but streamed to a resumable on-disk store.
+
+Identity is content-addressed at two levels:
+
+* :meth:`CampaignSpec.fingerprint` hashes the canonical campaign
+  description (kind, axis, trials, models, result-relevant parameters,
+  code version).  A store directory belongs to exactly one fingerprint;
+  resuming with a different spec is an error, not a silent mix.
+* :func:`trial_key` hashes one trial's canonical fields (kind, the
+  spec's result-relevant fields, seed, code version).  The store's
+  completed-key set is consulted before dispatch, so re-running a
+  campaign -- or a superset campaign sharing trials -- skips work that
+  is already on disk.
+
+Perf-only knobs (``engine``/``sim`` -- the array and scalar
+implementations are proven bit-identical, see ``tests/test_routing_
+engine.py`` / ``tests/test_netsim.py``) and bookkeeping
+(``point_index``/``trial``: the seed already encodes the position) are
+excluded from both hashes.  Carried registry spec objects are excluded
+too: they pickle builder *references*, which have no stable canonical
+form; workers resolve them from their registries instead.
+
+Campaign kinds live in a :class:`~repro._registry.SpecRegistry` like
+every other pluggable axis of the package, so tests (and future trial
+kinds) can register their own runner/planner/codec triple.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro import __version__
+from repro._registry import SpecRegistry
+
+#: Code-version component of every content hash.  Bump the ``+campaign``
+#: revision whenever trial semantics change without a package release --
+#: stale results must never be reused across result-affecting changes.
+CODE_VERSION = f"repro-{__version__}+campaign.1"
+
+#: Parameters that never affect trial results (implementation/perf
+#: selectors); excluded from fingerprints and trial keys.
+PERF_PARAMS = frozenset({"engine", "sim"})
+
+#: Trial-spec fields excluded from trial keys: carried registry spec
+#: objects (builder references, no canonical form), perf selectors, and
+#: sweep-position bookkeeping (the seed already encodes it).
+_KEY_EXCLUDED_FIELDS = frozenset(
+    {
+        "specs",
+        "router_spec",
+        "traffic_spec",
+        "engine_spec",
+        "arrival_spec",
+        "sim_spec",
+        "point_index",
+        "trial",
+    }
+) | PERF_PARAMS
+
+
+class CampaignError(RuntimeError):
+    """An unusable campaign: spec mismatch, corrupt store, or failed run."""
+
+
+def canonical_value(value: Any) -> Any:
+    """Map *value* onto the JSON-stable form used by every content hash.
+
+    Tuples become lists, typed option dataclasses become ``{"__type__":
+    ClassName, ...fields}`` dicts (the class name matters: two option
+    types could share field names), dict keys are forced to strings.
+    Anything unhashable by this scheme is rejected loudly rather than
+    hashed by repr.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [canonical_value(item) for item in value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        encoded: Dict[str, Any] = {"__type__": type(value).__name__}
+        for f in dataclasses.fields(value):
+            encoded[f.name] = canonical_value(getattr(value, f.name))
+        return encoded
+    if isinstance(value, Mapping):
+        return {str(key): canonical_value(val) for key, val in value.items()}
+    raise TypeError(f"value {value!r} has no canonical form")
+
+
+def _digest(payload: Any) -> str:
+    data = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(data.encode("utf-8")).hexdigest()
+
+
+def trial_key(kind: str, spec: Any) -> str:
+    """Content hash identifying one trial's result (32 hex chars).
+
+    Hashes the trial spec's canonical result-relevant fields together
+    with the campaign *kind* and :data:`CODE_VERSION`.  Stable across
+    processes and machines.  The bookkeeping fields (``point_index`` /
+    ``trial``) are excluded -- the derived seed already encodes the
+    position -- so a campaign extended at the end of its axis, or
+    deepened with more trials per point, plans a superset of the keys
+    the shorter campaign stored and skips the shared work.
+    """
+    fields = {
+        f.name: canonical_value(getattr(spec, f.name))
+        for f in dataclasses.fields(spec)
+        if f.name not in _KEY_EXCLUDED_FIELDS
+    }
+    return _digest({"kind": kind, "code": CODE_VERSION, "fields": fields})[:32]
+
+
+@dataclass(frozen=True, slots=True)
+class TrialDescriptor:
+    """One planned trial: its content key, sweep position, and spec."""
+
+    key: str
+    point: int
+    trial: int
+    x: float
+    seed: int
+    spec: Any
+
+
+@dataclass(frozen=True)
+class CampaignKindSpec:
+    """One registered campaign kind (runner + planner + row codec)."""
+
+    key: str
+    label: str
+    #: Worker entry point: ``runner(trial_spec) -> scenario metrics``.
+    runner: Callable[[Any], Any]
+    #: ``planner(campaign) -> Iterator[trial_spec]`` in (point, trial)
+    #: order; kwargs are validated before the first trial is yielded.
+    planner: Callable[["CampaignSpec"], Iterator[Any]]
+    #: ``codec(campaign) -> RowCodec`` mapping metrics <-> store rows.
+    codec: Callable[["CampaignSpec"], Any]
+    aliases: Tuple[str, ...] = ()
+
+
+_REGISTRY = SpecRegistry("campaign kind")
+
+
+def register_campaign_kind(spec: CampaignKindSpec, replace: bool = False) -> CampaignKindSpec:
+    """Register a campaign kind (``replace=True`` to swap an existing one)."""
+    return _REGISTRY.register(spec, replace=replace)
+
+
+def get_campaign_kind(key: str) -> CampaignKindSpec:
+    """Look up a campaign kind by key or alias (case-insensitive)."""
+    return _REGISTRY.get(key)
+
+
+def available_campaign_kinds() -> Tuple[str, ...]:
+    """The registered campaign kind keys."""
+    return _REGISTRY.keys()
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Canonical description of one campaign (picklable, JSON-stable).
+
+    ``axis`` holds the sweep's x values (fault counts or offered loads,
+    stored as floats), ``params`` the kind-specific keyword arguments of
+    the matching ``SweepExecutor.plan*`` method.  Use the
+    :meth:`construction` / :meth:`routing` / :meth:`latency`
+    constructors: they validate registry keys eagerly, so typos fail
+    before a single trial is planned.
+    """
+
+    kind: str
+    axis: Tuple[float, ...]
+    trials: int
+    models: Tuple[str, ...]
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise CampaignError("campaign trials must be at least 1")
+        if not self.axis:
+            raise CampaignError("campaign axis must not be empty")
+
+    # -- constructors ---------------------------------------------------------------
+
+    @classmethod
+    def construction(
+        cls,
+        fault_counts: Sequence[int],
+        trials: int,
+        models: Optional[Sequence[str]] = None,
+        **params: Any,
+    ) -> "CampaignSpec":
+        """A construction-metrics campaign (Figures 9-11 statistics)."""
+        return cls._build("construction", fault_counts, trials, models, params)
+
+    @classmethod
+    def routing(
+        cls,
+        fault_counts: Sequence[int],
+        trials: int,
+        models: Optional[Sequence[str]] = None,
+        **params: Any,
+    ) -> "CampaignSpec":
+        """A routed-traffic campaign (delivery/hops/detour statistics)."""
+        return cls._build("routing", fault_counts, trials, models, params)
+
+    @classmethod
+    def latency(
+        cls,
+        loads: Sequence[float],
+        trials: int,
+        models: Optional[Sequence[str]] = None,
+        **params: Any,
+    ) -> "CampaignSpec":
+        """A latency-vs-load campaign (contention-simulator statistics)."""
+        return cls._build("latency", loads, trials, models, params)
+
+    @classmethod
+    def _build(
+        cls,
+        kind: str,
+        axis: Sequence[Any],
+        trials: int,
+        models: Optional[Sequence[str]],
+        params: Dict[str, Any],
+    ) -> "CampaignSpec":
+        from repro.api.registry import get_construction
+
+        kind_spec = get_campaign_kind(kind)
+        if models is None:
+            from repro.api.executor import DEFAULT_MODELS, DEFAULT_NETSIM_MODELS, DEFAULT_ROUTING_MODELS
+
+            models = {
+                "construction": DEFAULT_MODELS,
+                "routing": DEFAULT_ROUTING_MODELS,
+                "latency": DEFAULT_NETSIM_MODELS,
+            }.get(kind_spec.key, DEFAULT_MODELS)
+        resolved_models = tuple(get_construction(key).key for key in models)
+        # Resolve registry-key params eagerly (typo -> KeyError here, and
+        # the canonical form always holds the normalised key).
+        params = dict(params)
+        if "router" in params and params["router"] is not None:
+            from repro.routing.registry import get_router
+
+            params["router"] = get_router(params["router"]).key
+        for name in ("traffic", "arrival"):
+            if name in params and params[name] is not None:
+                from repro.routing.traffic import get_traffic
+
+                params[name] = get_traffic(params[name]).key
+        spec = cls(
+            kind=kind_spec.key,
+            axis=tuple(float(x) for x in axis),
+            trials=int(trials),
+            models=resolved_models,
+            params=params,
+        )
+        spec.plan_check()
+        return spec
+
+    # -- identity -------------------------------------------------------------------
+
+    def canonical(self) -> Dict[str, Any]:
+        """The JSON-stable campaign description (perf knobs excluded)."""
+        params = {
+            name: canonical_value(value)
+            for name, value in sorted(self.params.items())
+            if name not in PERF_PARAMS
+        }
+        return {
+            "kind": self.kind,
+            "axis": list(self.axis),
+            "trials": self.trials,
+            "models": list(self.models),
+            "params": params,
+            "code": CODE_VERSION,
+        }
+
+    def fingerprint(self) -> str:
+        """Content hash of :meth:`canonical` (full sha256 hex digest)."""
+        return _digest(self.canonical())
+
+    @property
+    def total_trials(self) -> int:
+        """Planned trial count: ``len(axis) * trials``."""
+        return len(self.axis) * self.trials
+
+    # -- planning -------------------------------------------------------------------
+
+    def plan_check(self) -> None:
+        """Plan one point eagerly so bad params fail at spec build time."""
+        probe = dataclasses.replace(self, axis=self.axis[:1], trials=1)
+        list(get_campaign_kind(self.kind).planner(probe))
+
+    def plan(self) -> List[TrialDescriptor]:
+        """Expand into keyed trial descriptors, in (point, trial) order."""
+        return list(self.iter_plan())
+
+    def iter_plan(self) -> Iterator[TrialDescriptor]:
+        """Stream keyed trial descriptors in (point, trial) order.
+
+        A million-trial campaign plans to ~hundreds of MB if held as a
+        list; the runner and workers iterate this instead, keeping only
+        the (point, trial) cells and completed-key set resident.
+        """
+        kind = get_campaign_kind(self.kind)
+        for spec in kind.planner(self):
+            yield TrialDescriptor(
+                key=trial_key(kind.key, spec),
+                point=spec.point_index,
+                trial=spec.trial,
+                x=self.axis[spec.point_index],
+                seed=spec.seed,
+                spec=spec,
+            )
+
+    def codec(self) -> Any:
+        """The row codec of this campaign's kind."""
+        return get_campaign_kind(self.kind).codec(self)
+
+    # -- wire form (TCP workers receive the canonical dict) -------------------------
+
+    @classmethod
+    def from_canonical(cls, payload: Mapping[str, Any]) -> "CampaignSpec":
+        """Rebuild a spec from its :meth:`canonical` dict (wire form).
+
+        Typed option values arrive as ``{"__type__": ClassName, ...}``
+        dicts and are revived through the owning registry's
+        ``make_options`` -- remote workers therefore support exactly the
+        registered workloads (custom in-process registrations do not
+        travel over the wire; run those through the local transport).
+        """
+        if payload.get("code") != CODE_VERSION:
+            raise CampaignError(
+                f"campaign code version {payload.get('code')!r} does not match "
+                f"this worker's {CODE_VERSION!r}"
+            )
+        params = {
+            name: _revive_param(name, value, dict(payload.get("params", {})))
+            for name, value in dict(payload.get("params", {})).items()
+        }
+        return cls(
+            kind=str(payload["kind"]),
+            axis=tuple(float(x) for x in payload["axis"]),
+            trials=int(payload["trials"]),
+            models=tuple(str(m) for m in payload["models"]),
+            params=params,
+        )
+
+
+def _revive_param(name: str, value: Any, params: Mapping[str, Any]) -> Any:
+    """Revive one canonical param value (see :meth:`CampaignSpec.from_canonical`)."""
+    if not isinstance(value, Mapping) or "__type__" not in value:
+        return value
+    fields = {k: v for k, v in value.items() if k != "__type__"}
+    if name in ("traffic_options", "arrival_options"):
+        from repro.routing.traffic import get_traffic
+
+        owner = params.get("arrival" if name == "arrival_options" else "traffic", "uniform")
+        return get_traffic(str(owner)).make_options(None, fields)
+    if name == "router_options":
+        from repro.routing.registry import get_router
+
+        return get_router(str(params.get("router", "extended-ecube"))).make_options(
+            None, fields
+        )
+    raise CampaignError(f"cannot revive campaign param {name!r} of type {value['__type__']!r}")
+
+
+# -- built-in kinds -----------------------------------------------------------------
+
+
+def _plan_construction(campaign: CampaignSpec) -> Iterator[Any]:
+    from repro.api.executor import SweepExecutor
+
+    executor = SweepExecutor(campaign.models, workers=1)
+    return executor.iter_plan(
+        [int(x) for x in campaign.axis], campaign.trials, **campaign.params
+    )
+
+
+def _plan_routing(campaign: CampaignSpec) -> Iterator[Any]:
+    from repro.api.executor import SweepExecutor
+
+    executor = SweepExecutor(campaign.models, workers=1)
+    return executor.iter_plan_routing(
+        [int(x) for x in campaign.axis], campaign.trials, **campaign.params
+    )
+
+
+def _plan_latency(campaign: CampaignSpec) -> Iterator[Any]:
+    from repro.api.executor import SweepExecutor
+
+    executor = SweepExecutor(campaign.models, workers=1)
+    return executor.iter_plan_latency(
+        list(campaign.axis), campaign.trials, **campaign.params
+    )
+
+
+def _run_construction_trial(spec: Any) -> Any:
+    from repro.api.executor import run_trial
+
+    return run_trial(spec)
+
+
+def _run_routing_trial(spec: Any) -> Any:
+    from repro.api.executor import run_routing_trial
+
+    return run_routing_trial(spec)
+
+
+def _run_latency_trial(spec: Any) -> Any:
+    from repro.api.executor import run_netsim_trial
+
+    return run_netsim_trial(spec)
+
+
+def _construction_codec(campaign: CampaignSpec) -> Any:
+    from repro.campaign.reducers import ConstructionRowCodec
+
+    return ConstructionRowCodec(campaign)
+
+
+def _routing_codec(campaign: CampaignSpec) -> Any:
+    from repro.campaign.reducers import RoutingRowCodec
+
+    return RoutingRowCodec(campaign)
+
+
+def _latency_codec(campaign: CampaignSpec) -> Any:
+    from repro.campaign.reducers import LatencyRowCodec
+
+    return LatencyRowCodec(campaign)
+
+
+register_campaign_kind(
+    CampaignKindSpec(
+        key="construction",
+        label="Construction metrics",
+        runner=_run_construction_trial,
+        planner=_plan_construction,
+        codec=_construction_codec,
+        aliases=("sweep",),
+    )
+)
+register_campaign_kind(
+    CampaignKindSpec(
+        key="routing",
+        label="Routed traffic",
+        runner=_run_routing_trial,
+        planner=_plan_routing,
+        codec=_routing_codec,
+        aliases=("route",),
+    )
+)
+register_campaign_kind(
+    CampaignKindSpec(
+        key="latency",
+        label="Latency vs load",
+        runner=_run_latency_trial,
+        planner=_plan_latency,
+        codec=_latency_codec,
+        aliases=("netsim", "simulate"),
+    )
+)

@@ -351,6 +351,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_pending=args.max_pending,
         max_inflight=args.max_inflight,
         snapshot_every=args.snapshot_every,
+        journal_max_bytes=args.journal_max_bytes,
     )
     journal_path = Path(args.journal) if args.journal else None
     if journal_path is not None and journal_path.exists() and journal_path.stat().st_size:
@@ -495,6 +496,191 @@ def cmd_query(args: argparse.Namespace) -> int:
             await client.close()
 
     return asyncio.run(run())
+
+
+def _parse_hostport(text: str) -> Tuple[str, int]:
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"bad address {text!r}: expected HOST:PORT")
+    return host, int(port)
+
+
+def _campaign_spec_from(args: argparse.Namespace):
+    """Build the CampaignSpec a ``campaign run`` invocation describes.
+
+    Only flags the user actually passed enter ``params``: the content
+    fingerprint canonicalises the params dict, so spelling a planner
+    default out explicitly would make the CLI's campaign a different
+    campaign than the identical API call.
+    """
+    from repro.campaign import CampaignSpec
+
+    params = {
+        name: value
+        for name, value in (
+            ("width", args.width),
+            ("distribution", args.distribution),
+            ("base_seed", args.seed),
+            ("cluster_factor", args.cluster_factor),
+        )
+        if value is not None
+    }
+    if args.torus:
+        params["torus"] = True
+    if args.kind in ("construction", "routing") and args.loads:
+        raise SystemExit("--loads only applies to --kind latency")
+    if args.kind == "construction":
+        if args.skip_rounds:
+            params["include_rounds"] = False
+        return CampaignSpec.construction(
+            args.fault_counts, args.trials, models=args.models, **params
+        )
+    for name, value in (
+        ("router", args.router),
+        ("traffic", args.traffic),
+    ):
+        if value is not None:
+            params[name] = value
+    if args.kind == "routing":
+        if args.messages is not None:
+            params["messages"] = args.messages
+        return CampaignSpec.routing(
+            args.fault_counts, args.trials, models=args.models, **params
+        )
+    if not args.loads:
+        raise SystemExit("--kind latency requires --loads")
+    for name, value in (
+        ("num_faults", args.num_faults),
+        ("arrival", args.arrival),
+        ("cycles", args.cycles),
+    ):
+        if value is not None:
+            params[name] = value
+    return CampaignSpec.latency(
+        args.loads, args.trials, models=args.models, **params
+    )
+
+
+def _campaign_execute(args: argparse.Namespace, spec) -> int:
+    """Shared run/resume machinery: build the runner, stream progress."""
+    from repro.campaign import CampaignRunner, TcpTransport
+
+    transport: object = args.transport
+    if args.transport == "tcp":
+        # Pre-start the shard server so the bound port can be printed
+        # before any worker needs it (start is idempotent).
+        if spec is None:
+            from repro.campaign import CampaignStore
+
+            store = CampaignStore.open(Path(args.dir))
+            spec = store.campaign
+            store.close()
+        host, port = _parse_hostport(args.listen)
+        transport = TcpTransport(spec, host=host, port=port, workers=args.workers)
+        transport.start()
+        bound_host, bound_port = transport.address
+        print(
+            f"tcp transport listening on {bound_host}:{bound_port} "
+            f"(connect workers with: repro-mesh campaign worker "
+            f"{bound_host}:{bound_port})",
+            flush=True,
+        )
+
+    state = {"last": -1}
+
+    def progress(done: int, total: int) -> None:
+        percent = 100 * done // total if total else 100
+        if percent >= state["last"] + 5 or done == total:
+            state["last"] = percent
+            print(f"  {done}/{total} trials ({percent}%)", flush=True)
+
+    runner = CampaignRunner(
+        spec,
+        args.dir,
+        workers=args.workers,
+        transport=transport,
+        chunk_trials=args.chunk_trials,
+        max_inflight=args.max_inflight,
+        task_timeout=args.task_timeout,
+        max_tasks=args.max_tasks,
+        progress=progress if not (args.quiet or args.json) else None,
+    )
+    try:
+        summary = runner.run()
+    finally:
+        runner.close()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(
+            f"campaign {summary['fingerprint'][:16]}...: "
+            f"{summary['executed']} executed, {summary['skipped']} skipped, "
+            f"{summary['rescheduled']} rescheduled, "
+            f"{summary['rows_stored']} rows in {summary['chunks_after']} "
+            f"chunks, {summary['elapsed']:.2f}s"
+            + ("  [complete]" if summary["complete"] else "  [partial]")
+        )
+    return 0 if summary["complete"] or args.max_tasks is not None else 1
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    manifest = Path(args.dir) / "manifest.jsonl"
+    # Running against an existing store is resuming; the fingerprint
+    # check refuses a directory holding a different campaign.
+    spec = None if manifest.exists() else _campaign_spec_from(args)
+    return _campaign_execute(args, spec)
+
+
+def cmd_campaign_resume(args: argparse.Namespace) -> int:
+    return _campaign_execute(args, None)
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.campaign import campaign_status, format_status
+
+    status = campaign_status(args.dir)
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+    else:
+        print(format_status(status))
+    return 0 if status["complete"] else 1
+
+
+def cmd_campaign_reduce(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignRunner
+
+    runner = CampaignRunner(None, args.dir, workers=1)
+    try:
+        points = runner.reduce()
+    finally:
+        runner.close()
+    if args.json:
+        print(json.dumps([p.as_dict() for p in points], indent=2))
+        return 0
+    columns = sorted(points[0].stats) if points else []
+    if args.metric:
+        columns = [c for c in columns if args.metric in c]
+        if not columns:
+            raise SystemExit(f"no stored column matches {args.metric!r}")
+    for column in columns:
+        print(f"{column}:")
+        print(f"  {'x':>10} {'n':>8} {'mean':>12} {'ci95':>12}")
+        for point in points:
+            moments = point.stats[column]
+            print(
+                f"  {point.x:>10g} {moments.count:>8} "
+                f"{moments.mean:>12.4f} {moments.ci95:>12.4f}"
+            )
+    return 0
+
+
+def cmd_campaign_worker(args: argparse.Namespace) -> int:
+    from repro.campaign import run_tcp_worker
+
+    host, port = _parse_hostport(args.address)
+    served = run_tcp_worker(host, port, max_tasks=args.max_tasks)
+    print(f"worker done: {served} tasks served")
+    return 0
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
@@ -704,6 +890,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a journal snapshot every N events (bounds replay)",
     )
     serve.add_argument(
+        "--journal-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="rotate the journal (compact to one fresh snapshot via an "
+        "atomic swap) whenever it outgrows this many bytes",
+    )
+    serve.add_argument(
         "--max-pending",
         type=int,
         default=4096,
@@ -784,6 +978,159 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="print one line per routed pair"
     )
     query.set_defaults(func=cmd_query)
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="run/resume/inspect resumable content-addressed trial campaigns",
+    )
+    campaign_verbs = campaign.add_subparsers(dest="campaign_verb", required=True)
+
+    def _add_campaign_runner_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("dir", help="campaign store directory")
+        sub.add_argument(
+            "--workers", type=int, default=1,
+            help="local worker processes (ignored by the tcp transport)",
+        )
+        sub.add_argument(
+            "--transport", choices=("local", "tcp"), default="local",
+            help="trial transport: in-process pool or a TCP shard server "
+            "remote workers dial into",
+        )
+        sub.add_argument(
+            "--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+            help="bind address of the tcp transport (port 0 picks a free "
+            "port, printed at start-up)",
+        )
+        sub.add_argument(
+            "--chunk-trials", type=int, default=64,
+            help="trials per dispatched task (the store's chunk size)",
+        )
+        sub.add_argument(
+            "--max-inflight", type=int, default=None,
+            help="in-flight task window (default: 2 x workers)",
+        )
+        sub.add_argument(
+            "--task-timeout", type=float, default=300.0,
+            help="seconds a silent task waits before re-dispatch",
+        )
+        sub.add_argument(
+            "--max-tasks", type=int, default=None,
+            help="stop after N completed tasks (leaves a valid partial "
+            "store to resume from)",
+        )
+        sub.add_argument(
+            "--quiet", action="store_true", help="suppress progress lines"
+        )
+        sub.add_argument(
+            "--json", action="store_true", help="print the summary as JSON"
+        )
+
+    campaign_run = campaign_verbs.add_parser(
+        "run",
+        help="run a campaign (an existing store directory is resumed; "
+        "completed trials are skipped by content key)",
+    )
+    _add_campaign_runner_arguments(campaign_run)
+    campaign_run.add_argument(
+        "--kind", choices=("construction", "routing", "latency"),
+        default="construction", help="trial kind (campaign-kind registry key)",
+    )
+    campaign_run.add_argument(
+        "--fault-counts", type=int, nargs="+", dest="fault_counts",
+        default=[100, 200, 300, 400, 500, 600, 700, 800],
+        help="sweep axis of construction/routing campaigns",
+    )
+    campaign_run.add_argument(
+        "--loads", type=float, nargs="+", default=None,
+        help="sweep axis of latency campaigns (messages/node/cycle)",
+    )
+    campaign_run.add_argument("--trials", type=int, default=100)
+    campaign_run.add_argument(
+        "--models", nargs="+", default=None,
+        help="construction registry keys (default: the kind's usual set)",
+    )
+    campaign_run.add_argument("--width", type=int, default=None)
+    campaign_run.add_argument(
+        "--distribution", choices=("random", "clustered"), default=None
+    )
+    campaign_run.add_argument(
+        "--seed", type=int, default=None, help="base seed of the trial plan"
+    )
+    campaign_run.add_argument("--cluster-factor", type=float, default=None)
+    campaign_run.add_argument("--torus", action="store_true")
+    campaign_run.add_argument(
+        "--skip-rounds", action="store_true",
+        help="construction campaigns: skip the rounds measurement",
+    )
+    campaign_run.add_argument(
+        "--router", choices=router_keys(), default=None,
+        help="routing/latency campaigns: router registry key",
+    )
+    campaign_run.add_argument(
+        "--traffic", default=None,
+        help="routing/latency campaigns: traffic registry key",
+    )
+    campaign_run.add_argument(
+        "--messages", type=int, default=None,
+        help="routing campaigns: messages per trial",
+    )
+    campaign_run.add_argument(
+        "--num-faults", type=int, default=None,
+        help="latency campaigns: faults of every trial scenario",
+    )
+    campaign_run.add_argument(
+        "--arrival", choices=("poisson", "bursty"), default=None,
+        help="latency campaigns: arrival process",
+    )
+    campaign_run.add_argument(
+        "--cycles", type=int, default=None,
+        help="latency campaigns: injection-window length",
+    )
+    campaign_run.set_defaults(func=cmd_campaign_run)
+
+    campaign_resume = campaign_verbs.add_parser(
+        "resume",
+        help="resume the campaign recorded in a store directory "
+        "(kind/axis flags come from the store, not the command line)",
+    )
+    _add_campaign_runner_arguments(campaign_resume)
+    campaign_resume.set_defaults(func=cmd_campaign_resume)
+
+    campaign_status_parser = campaign_verbs.add_parser(
+        "status", help="per-point completion report of a store directory"
+    )
+    campaign_status_parser.add_argument("dir", help="campaign store directory")
+    campaign_status_parser.add_argument(
+        "--json", action="store_true", help="print the status dict as JSON"
+    )
+    campaign_status_parser.set_defaults(func=cmd_campaign_status)
+
+    campaign_reduce = campaign_verbs.add_parser(
+        "reduce",
+        help="stream the store through the Welford reducers and print "
+        "per-point means with 95%% confidence intervals",
+    )
+    campaign_reduce.add_argument("dir", help="campaign store directory")
+    campaign_reduce.add_argument(
+        "--metric", default=None,
+        help="only print stored columns whose name contains this substring",
+    )
+    campaign_reduce.add_argument(
+        "--json", action="store_true", help="print the reduced points as JSON"
+    )
+    campaign_reduce.set_defaults(func=cmd_campaign_reduce)
+
+    campaign_worker = campaign_verbs.add_parser(
+        "worker", help="serve trials to a tcp-transport campaign run"
+    )
+    campaign_worker.add_argument(
+        "address", metavar="HOST:PORT", help="address the run is listening on"
+    )
+    campaign_worker.add_argument(
+        "--max-tasks", type=int, default=None,
+        help="disconnect after serving N tasks",
+    )
+    campaign_worker.set_defaults(func=cmd_campaign_worker)
 
     verify = subparsers.add_parser(
         "verify", help="run the construction verification suite"

@@ -508,11 +508,17 @@ class PackedRings:
         return segment
 
     def ensure(self, router: Any, regions: np.ndarray) -> None:
-        """Append any of *regions* not packed yet and rebuild the arrays.
+        """Append any of *regions* not packed yet and extend the arrays.
 
-        At most one rebuild per kernel round (all of the round's new
-        regions are appended together); rounds whose regions are all
-        known cost one boolean gather.
+        At most one array update per kernel round (all of the round's
+        new regions are appended together); rounds whose regions are all
+        known cost one boolean gather.  New regions *extend* the
+        existing flat arrays in place -- the sorted entry table absorbs
+        them with a binary-search merge -- so a round that encounters
+        one new region never re-concatenates, re-sorts or re-validates
+        the regions already packed.  The full :meth:`_rebuild` only runs
+        when a fault delta invalidated the concatenation (the disabled
+        mask changed under every packed node).
         """
         missing = regions[~self.packed[regions]]
         if missing.size == 0:
@@ -520,6 +526,7 @@ class PackedRings:
                 self._rebuild(router)
                 self._dirty = False
             return
+        append_from = len(self._order)
         for region in np.unique(missing).tolist():
             segment = self._segment(router, region)
             self.start[region] = self._total
@@ -527,8 +534,52 @@ class PackedRings:
             self.packed[region] = True
             self._order.append((region, router._regions[region]))
             self._total += segment[0].size
-        self._rebuild(router)
+        if self._dirty or append_from == 0:
+            self._rebuild(router)
+        else:
+            self._append(router, append_from)
         self._dirty = False
+
+    def _append(self, router: Any, append_from: int) -> None:
+        """Extend the flat arrays with the segments packed at
+        ``_order[append_from:]``, leaving the already-built prefix alone.
+
+        The validity gather runs over the new ring nodes only (the
+        disabled mask is fixed for this router instance, so the prefix's
+        gather stays correct), and the entry table -- kept sorted for
+        :meth:`entries_of` -- merges the new keys in by binary search
+        instead of re-sorting the whole table.
+        """
+        width, height = self.shape
+        cells = width * height
+        fresh = self._order[append_from:]
+        segments = [self._segments[nodes] for _, nodes in fresh]
+        new_x = np.concatenate([s[0] for s in segments])
+        new_y = np.concatenate([s[1] for s in segments])
+        new_off = np.concatenate([s[2] for s in segments])
+        self.ring_x = np.concatenate([self.ring_x, new_x])
+        self.ring_y = np.concatenate([self.ring_y, new_y])
+        self.off_mesh = np.concatenate([self.off_mesh, new_off])
+        self.geo_bits = np.concatenate(
+            [self.geo_bits] + [s[3] for s in segments]
+        )
+        keys = np.concatenate(
+            [region * cells + s[4] for (region, _), s in zip(fresh, segments)]
+        )
+        positions = np.concatenate([s[5] for s in segments])
+        order = np.argsort(keys)
+        keys, positions = keys[order], positions[order]
+        insert_at = np.searchsorted(self.entry_keys, keys)
+        self.entry_keys = np.insert(self.entry_keys, insert_at, keys)
+        self.entry_positions = np.insert(
+            self.entry_positions, insert_at, positions
+        )
+        clip_x = np.clip(new_x, 0, width - 1)
+        clip_y = np.clip(new_y, 0, height - 1)
+        disabled = ~router.enabled_mask
+        self.valid = np.concatenate(
+            [self.valid, ~new_off & ~disabled[clip_x, clip_y]]
+        )
 
     def _rebuild(self, router: Any) -> None:
         """Concatenate the packed segments into the kernel's flat arrays.

@@ -144,6 +144,10 @@ class RouteDaemon:
     snapshot_every:
         Journal a fresh state snapshot after this many events, bounding
         the replay tail of a recovery.
+    journal_max_bytes:
+        Rotate the journal (compact to a single fresh snapshot via an
+        atomic file swap) whenever it outgrows this many bytes; ``None``
+        lets it grow unbounded.
     """
 
     def __init__(
@@ -162,6 +166,7 @@ class RouteDaemon:
         max_inflight: int = 64,
         journal: Optional[Union[str, Path, Journal]] = None,
         snapshot_every: int = 64,
+        journal_max_bytes: Optional[int] = None,
     ) -> None:
         if session is None:
             if scenario is not None:
@@ -216,6 +221,8 @@ class RouteDaemon:
                     f"journal {journal} already holds records; use "
                     "RouteDaemon.recover() to resume from it"
                 )
+        if self.journal is not None and journal_max_bytes is not None:
+            self.journal.max_bytes = journal_max_bytes
         if self.journal is not None and not self.journal.had_records:
             self.journal.append_snapshot(session.state())
 
@@ -475,6 +482,9 @@ class RouteDaemon:
                 self.journal.append_snapshot(
                     self.session.state(), dict(self._idem)
                 )
+                self._events_since_snapshot = 0
+            if self.journal.should_compact():
+                self.journal.compact(self.session.state(), dict(self._idem))
                 self._events_since_snapshot = 0
         return payload
 

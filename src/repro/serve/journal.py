@@ -28,6 +28,13 @@ undecodable *final* line is dropped (counted in ``truncated_lines``);
 garbage anywhere else raises :class:`JournalError`, because a
 mid-journal hole would silently desync the replay.
 
+A journal otherwise grows without bound under a long-lived daemon, so
+``max_bytes`` arms rotation: once the file exceeds the cap,
+:meth:`Journal.compact` rewrites it as a single fresh snapshot via a
+temp file plus :func:`os.replace` -- the swap is atomic, so a crash at
+any instant leaves either the full old journal or the complete
+compacted one, never a torn mixture.
+
 :meth:`RouteDaemon.recover(path) <repro.serve.daemon.RouteDaemon.recover>`
 is the consumer: load the last snapshot, replay the events after it,
 verify every event's recorded post-version matches the replayed
@@ -40,6 +47,7 @@ test_serve_resilience.py`` asserts.
 from __future__ import annotations
 
 import json
+import os
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -66,9 +74,19 @@ class Journal:
     the loaded file straight back for continued writing); whether the
     file held records at open time is exposed as :attr:`had_records`, so
     the daemon knows to seed a fresh journal with an initial snapshot.
+
+    ``max_bytes`` arms size-triggered rotation: :meth:`should_compact`
+    turns true once the file exceeds the cap, and the owner is expected
+    to call :meth:`compact` with its current state.  The journal never
+    compacts on its own -- only the daemon knows the authoritative
+    state to snapshot.
     """
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(
+        self, path: Union[str, Path], max_bytes: Optional[int] = None
+    ) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.had_records = self.path.exists() and self.path.stat().st_size > 0
@@ -76,6 +94,8 @@ class Journal:
         self.seq = 0
         self.events_written = 0
         self.snapshots_written = 0
+        self.max_bytes = max_bytes
+        self.rotations = 0
         self._closed = False
 
     def append_event(
@@ -114,6 +134,50 @@ class Journal:
         # being written (load_journal drops a truncated tail).
         self._file.flush()
 
+    def size_bytes(self) -> int:
+        """Current byte size of the journal file (post-flush, so exact)."""
+        return self._file.tell() if not self._closed else self.path.stat().st_size
+
+    def should_compact(self) -> bool:
+        """True when ``max_bytes`` is set and the file has outgrown it."""
+        return (
+            self.max_bytes is not None
+            and not self._closed
+            and self.size_bytes() > self.max_bytes
+        )
+
+    def compact(
+        self, state: Dict[str, Any], idem: Optional[Dict[str, Any]] = None
+    ) -> None:
+        """Rewrite the journal as one fresh snapshot of *state*.
+
+        The replacement is written to a sibling temp file, fsynced and
+        atomically swapped in with :func:`os.replace`; sequence numbers
+        keep climbing across the rotation so replay-divergence checks
+        stay monotonic.
+        """
+        if self._closed:
+            raise JournalError("journal is closed")
+        self.seq += 1
+        record: Dict[str, Any] = {
+            "t": "snapshot",
+            "seq": self.seq,
+            "schema": SCHEMA,
+            "state": state,
+        }
+        if idem:
+            record["idem"] = dict(idem)
+        tmp_path = self.path.with_name(self.path.name + ".compact")
+        with open(tmp_path, "wb") as tmp:
+            tmp.write(_encode_record(record))
+            tmp.flush()
+            os.fsync(tmp.fileno())
+        self._file.close()
+        os.replace(tmp_path, self.path)
+        self._file = open(self.path, "ab")
+        self.snapshots_written += 1
+        self.rotations += 1
+
     def close(self) -> None:
         if not self._closed:
             self._closed = True
@@ -126,6 +190,9 @@ class Journal:
             "seq": self.seq,
             "events_written": self.events_written,
             "snapshots_written": self.snapshots_written,
+            "size_bytes": self.size_bytes(),
+            "max_bytes": self.max_bytes,
+            "rotations": self.rotations,
         }
 
 

@@ -77,6 +77,7 @@ def run_sweep(
     cluster_factor: float = 2.0,
     torus: bool = False,
     workers: int = 1,
+    campaign=None,
 ) -> List[SweepPoint]:
     """Run the constructions over a fault-count sweep.
 
@@ -86,6 +87,8 @@ def run_sweep(
     ``workers`` > 1 (or ``None`` for all CPUs) to fan the trials out over a
     process pool; the per-trial seeds are deterministic either way.
     ``torus`` runs the sweep on a 2-D torus instead of the paper's mesh.
+    ``campaign=<directory>`` streams the sweep through the resumable
+    content-addressed campaign store (see :mod:`repro.campaign`).
     """
     executor = SweepExecutor(
         models=_model_keys(include_distributed), workers=workers
@@ -99,6 +102,7 @@ def run_sweep(
         cluster_factor=cluster_factor,
         torus=torus,
         include_rounds=include_rounds,
+        campaign=campaign,
     )
 
 
@@ -117,6 +121,7 @@ def run_routing_sweep(
     workers: int = 1,
     engine=None,
     reducer=None,
+    campaign=None,
 ) -> List[RoutingSweepPoint]:
     """Route synthetic traffic over a fault-count sweep.
 
@@ -146,6 +151,7 @@ def run_routing_sweep(
         messages=messages,
         engine=engine,
         reducer=reducer,
+        campaign=campaign,
     )
 
 
@@ -167,6 +173,7 @@ def run_latency_sweep(
     workers: int = 1,
     sim=None,
     reducer=None,
+    campaign=None,
 ) -> List[LatencySweepPoint]:
     """Run an open-loop latency-vs-load sweep over the network simulator.
 
@@ -198,4 +205,5 @@ def run_latency_sweep(
         drain_factor=drain_factor,
         sim=sim,
         reducer=reducer,
+        campaign=campaign,
     )

@@ -34,20 +34,37 @@ class FigureSeries:
     #: Header of the x column in :meth:`as_rows` (fault sweeps keep the
     #: historical "faults"; the latency sweeps use "load").
     x_key: str = "faults"
+    #: Optional per-model 95% confidence half-widths (campaign-scale
+    #: sweeps populate these; empty means point estimates only).
+    errors: Dict[str, List[float]] = field(default_factory=dict)
 
     def value(self, model: str, num_faults: int) -> float:
         """Return the y value of *model* at *num_faults*."""
         index = self.x_values.index(num_faults)
         return self.series[model][index]
 
+    def error(self, model: str, num_faults: int) -> float:
+        """The 95% half-width of *model* at *num_faults* (0.0 if absent)."""
+        if model not in self.errors:
+            return 0.0
+        return self.errors[model][self.x_values.index(num_faults)]
+
     def as_rows(self) -> List[List[str]]:
-        """Render the panel as table rows (header row first)."""
+        """Render the panel as table rows (header row first).
+
+        Models with recorded confidence intervals render as
+        ``mean±half``; the historical plain format is untouched when no
+        errors are attached.
+        """
         header = [self.x_key] + list(self.series)
         rows = [header]
         for index, x in enumerate(self.x_values):
             row = [str(x)]
             for model in self.series:
-                row.append(f"{self.series[model][index]:.2f}")
+                cell = f"{self.series[model][index]:.2f}"
+                if model in self.errors:
+                    cell += f"±{self.errors[model][index]:.2f}"
+                row.append(cell)
             rows.append(row)
         return rows
 
@@ -83,12 +100,14 @@ def figure9_series(
     log10: bool = True,
     points: Optional[List[SweepPoint]] = None,
     workers: int = 1,
+    ci: bool = False,
 ) -> FigureSeries:
     """Figure 9: non-faulty but disabled nodes in the whole network.
 
     The paper plots the value on a log10 axis; set ``log10=False`` for the
     raw node counts.  Pass precomputed ``points`` to reuse one sweep for
-    several figures.
+    several figures.  ``ci=True`` attaches 95% confidence half-widths
+    (raw scale only -- half-widths do not transform through log10).
     """
     if points is None:
         points = _sweep(
@@ -110,6 +129,10 @@ def figure9_series(
                 value = math.log10(value) if value > 0 else -1.0
             values.append(value)
         figure.series[model] = values
+        if ci and not log10:
+            figure.errors[model] = [
+                p.ci95(model, "disabled_nonfaulty")[1] for p in points
+            ]
     return figure
 
 
@@ -121,6 +144,7 @@ def figure10_series(
     base_seed: int = 0,
     points: Optional[List[SweepPoint]] = None,
     workers: int = 1,
+    ci: bool = False,
 ) -> FigureSeries:
     """Figure 10: average size of a fault region (faulty + non-faulty nodes)."""
     if points is None:
@@ -137,6 +161,10 @@ def figure10_series(
     )
     for model in ("FB", "FP", "MFP"):
         figure.series[model] = [p.mean_region_size(model) for p in points]
+        if ci:
+            figure.errors[model] = [
+                p.ci95(model, "mean_region_size")[1] for p in points
+            ]
     return figure
 
 
@@ -148,6 +176,7 @@ def figure11_series(
     base_seed: int = 0,
     points: Optional[List[SweepPoint]] = None,
     workers: int = 1,
+    ci: bool = False,
 ) -> FigureSeries:
     """Figure 11: rounds of status determination (FB, FP, CMFP, DMFP)."""
     if points is None:
@@ -164,6 +193,8 @@ def figure11_series(
     )
     for model in ("FB", "FP", "CMFP", "DMFP"):
         figure.series[model] = [p.mean_rounds(model) for p in points]
+        if ci:
+            figure.errors[model] = [p.ci95(model, "rounds")[1] for p in points]
     return figure
 
 
@@ -190,6 +221,7 @@ def routing_series(
     torus: bool = False,
     points: Optional[List[RoutingSweepPoint]] = None,
     workers: int = 1,
+    ci: bool = False,
 ) -> FigureSeries:
     """Routing extension: one routing *metric* per fault model vs. fault count.
 
@@ -227,6 +259,8 @@ def routing_series(
     models = points[0].models() if points else []
     for model in models:
         figure.series[model] = [getattr(p, accessor)(model) for p in points]
+        if ci:
+            figure.errors[model] = [p.ci95(model, metric)[1] for p in points]
     return figure
 
 
@@ -258,6 +292,7 @@ def latency_series(
     torus: bool = False,
     points: Optional[List[LatencySweepPoint]] = None,
     workers: int = 1,
+    ci: bool = False,
 ) -> FigureSeries:
     """Network-simulator extension: one contention *metric* vs. offered load.
 
@@ -299,6 +334,8 @@ def latency_series(
     models = points[0].models() if points else []
     for model in models:
         figure.series[model] = [getattr(p, accessor)(model) for p in points]
+        if ci:
+            figure.errors[model] = [p.ci95(model, metric)[1] for p in points]
     return figure
 
 

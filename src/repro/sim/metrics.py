@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from statistics import mean
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -116,6 +116,25 @@ class SweepPoint:
     def mean_saving_vs_fb(self, model: str) -> float:
         """Average fraction of FB's sacrificed nodes re-enabled by *model*."""
         return self._mean_over(lambda s: s.saving_vs_fb(model))
+
+    def ci95(
+        self, model: str, metric: str = "disabled_nonfaulty"
+    ) -> Tuple[float, float]:
+        """Streaming ``(mean, 95% half-width)`` of one per-scenario scalar.
+
+        *metric* names a :class:`ScenarioMetrics` accessor
+        (``disabled_nonfaulty`` / ``mean_region_size`` / ``rounds`` /
+        ``saving_vs_fb``).  Shares the Welford fold with the campaign
+        reducers (:mod:`repro.campaign.reducers`), so an in-memory
+        sweep's intervals match a campaign's bit-for-bit given the same
+        trials in the same order.
+        """
+        from repro.campaign.reducers import fold_moments
+
+        moments = fold_moments(
+            float(getattr(s, metric)(model)) for s in self.scenarios
+        )
+        return moments.mean, moments.ci95
 
 
 # -- routing sweeps -----------------------------------------------------------------
@@ -299,6 +318,19 @@ class LatencySweepPoint:
         """Fraction of the point's scenarios that stopped on a deadlock."""
         return self.mean(model, "deadlocked")
 
+    def ci95(self, model: str, metric: str = "mean_latency") -> Tuple[float, float]:
+        """Streaming ``(mean, 95% half-width)`` of one per-scenario scalar.
+
+        Shares the Welford fold with the campaign reducers; see
+        :meth:`SweepPoint.ci95`.
+        """
+        from repro.campaign.reducers import fold_moments
+
+        moments = fold_moments(
+            float(s.value(model, metric)) for s in self.scenarios
+        )
+        return moments.mean, moments.ci95
+
 
 @dataclass
 class RoutingSweepPoint:
@@ -341,3 +373,16 @@ class RoutingSweepPoint:
     def mean_enabled(self, model: str) -> float:
         """Average number of usable endpoint nodes for *model*."""
         return self.mean(model, "enabled")
+
+    def ci95(self, model: str, metric: str = "delivery_rate") -> Tuple[float, float]:
+        """Streaming ``(mean, 95% half-width)`` of one per-scenario scalar.
+
+        Shares the Welford fold with the campaign reducers; see
+        :meth:`SweepPoint.ci95`.
+        """
+        from repro.campaign.reducers import fold_moments
+
+        moments = fold_moments(
+            float(s.value(model, metric)) for s in self.scenarios
+        )
+        return moments.mean, moments.ci95

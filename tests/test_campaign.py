@@ -1,0 +1,546 @@
+"""Campaign fabric tests: content identity, store crash-safety, resume.
+
+The load-bearing guarantees:
+
+* **Bit-identity** -- a campaign's reduced sweep points equal the
+  in-memory ``SweepExecutor`` results exactly, for all three trial
+  kinds, whether the campaign ran uninterrupted, was resumed after a
+  simulated interruption (``max_tasks``), or after a real ``kill -9``.
+* **Content addressing** -- trial keys are stable across processes,
+  independent of axis position (a superset campaign reuses shared
+  trials), and perf-only knobs never change a fingerprint.
+* **Crash-safe store** -- a torn manifest tail and orphan chunk files
+  are tolerated and resumed over; mid-store corruption and foreign
+  fingerprints are refused.
+* **Failure detection** -- a worker dying mid-task is detected and its
+  task rescheduled onto a fresh worker; the campaign still completes
+  with identical results.
+"""
+
+import dataclasses
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import SweepExecutor
+from repro.campaign import (
+    CampaignError,
+    CampaignRunner,
+    CampaignSpec,
+    CampaignStore,
+    StreamingReducer,
+    TcpTransport,
+    available_campaign_kinds,
+    available_transports,
+    campaign_status,
+    fold_moments,
+    format_status,
+    run_tcp_worker,
+    trial_key,
+)
+from repro.campaign.spec import get_campaign_kind, register_campaign_kind
+
+#: Small, fast campaign definitions per kind: (spec builder, executor call).
+KIND_CASES = {
+    "construction": dict(
+        spec=lambda: CampaignSpec.construction(
+            [4, 8], 3, models=("fb", "fp", "mfp"), width=16,
+            include_rounds=False,
+        ),
+        baseline=lambda ex: ex.run([4, 8], 3, width=16, include_rounds=False),
+        models=("fb", "fp", "mfp"),
+    ),
+    "routing": dict(
+        spec=lambda: CampaignSpec.routing(
+            [4], 2, models=("fb", "fp", "mfp"), width=12, messages=40
+        ),
+        baseline=lambda ex: ex.run_routing([4], 2, width=12, messages=40),
+        models=("fb", "fp", "mfp"),
+    ),
+    "latency": dict(
+        spec=lambda: CampaignSpec.latency(
+            [0.02], 2, models=("fb", "mfp"), width=8, cycles=32
+        ),
+        baseline=lambda ex: ex.run_latency([0.02], 2, width=8, cycles=32),
+        models=("fb", "mfp"),
+    ),
+}
+
+
+def _executor(kind: str) -> SweepExecutor:
+    return SweepExecutor(KIND_CASES[kind]["models"], workers=1)
+
+
+# -- identity ------------------------------------------------------------------------
+
+
+def test_registries_expose_builtins():
+    kinds = available_campaign_kinds()
+    assert {"construction", "routing", "latency"} <= set(kinds)
+    assert {"local", "tcp"} <= set(available_transports())
+
+
+def test_trial_keys_shared_by_extended_campaigns():
+    """Appending axis points or raising trials reuses existing keys.
+
+    The trial seed encodes (point index, trial), so a campaign extended
+    at the end of its axis -- or deepened with more trials per point --
+    plans a strict superset of the original keys (add-more-data without
+    re-running what is stored)."""
+    narrow = CampaignSpec.construction(
+        [4], 2, models=("fb", "fp", "mfp"), width=16, include_rounds=False
+    )
+    wide = CampaignSpec.construction(
+        [4, 8], 3, models=("fb", "fp", "mfp"), width=16, include_rounds=False
+    )
+    narrow_keys = {d.key for d in narrow.plan()}
+    wide_keys = {d.key for d in wide.plan()}
+    assert narrow_keys and narrow_keys < wide_keys
+    assert len(wide_keys) == wide.total_trials
+
+
+def test_trial_keys_stable_across_processes(tmp_path):
+    spec = KIND_CASES["construction"]["spec"]()
+    local_keys = [d.key for d in spec.plan()]
+    script = textwrap.dedent(
+        """
+        import json, sys
+        from repro.campaign import CampaignSpec
+        spec = CampaignSpec.construction(
+            [4, 8], 3, models=("fb", "fp", "mfp"), width=16, include_rounds=False
+        )
+        print(json.dumps([d.key for d in spec.plan()]))
+        """
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        check=True,
+        env={**os.environ, "PYTHONPATH": str(Path(__file__).parent.parent / "src")},
+    )
+    assert json.loads(out.stdout) == local_keys
+
+
+def test_fingerprint_excludes_perf_knobs():
+    plain = CampaignSpec.routing([4], 2, width=12, messages=40)
+    batch = CampaignSpec.routing([4], 2, width=12, messages=40, engine="batch")
+    assert plain.fingerprint() == batch.fingerprint()
+
+
+def test_fingerprint_changes_with_results():
+    base = CampaignSpec.construction([4], 2, width=16, include_rounds=False)
+    other = CampaignSpec.construction([4], 2, width=20, include_rounds=False)
+    assert base.fingerprint() != other.fingerprint()
+
+
+def test_spec_round_trips_canonical():
+    spec = CampaignSpec.routing([4, 8], 2, width=12, messages=40, router="extended-ecube")
+    revived = CampaignSpec.from_canonical(spec.canonical())
+    assert revived.fingerprint() == spec.fingerprint()
+
+
+def test_bad_registry_key_fails_at_build_time():
+    with pytest.raises(KeyError):
+        CampaignSpec.routing([4], 1, width=12, router="no-such-router")
+
+
+# -- store crash-safety --------------------------------------------------------------
+
+
+def test_store_refuses_foreign_fingerprint(tmp_path):
+    spec_a = CampaignSpec.construction([4], 1, width=16, include_rounds=False)
+    spec_b = CampaignSpec.construction([8], 1, width=16, include_rounds=False)
+    CampaignStore.create(tmp_path / "store", spec_a).close()
+    with pytest.raises(CampaignError, match="fingerprint"):
+        CampaignStore.open(tmp_path / "store", spec_b)
+
+
+def test_store_tolerates_torn_manifest_tail(tmp_path):
+    spec = KIND_CASES["construction"]["spec"]()
+    runner = CampaignRunner(spec, tmp_path / "store", chunk_trials=2)
+    summary = runner.run()
+    runner.close()
+    assert summary["complete"]
+    manifest = tmp_path / "store" / "manifest.jsonl"
+    with open(manifest, "ab") as handle:
+        handle.write(b'{"t": "chunk", "se')  # torn mid-write
+    resumed = CampaignRunner(None, tmp_path / "store")
+    assert resumed.run()["skipped"] == spec.total_trials
+    resumed.close()
+
+
+def test_store_midfile_corruption_is_fatal(tmp_path):
+    spec = KIND_CASES["construction"]["spec"]()
+    runner = CampaignRunner(spec, tmp_path / "store", chunk_trials=2)
+    runner.run()
+    runner.close()
+    manifest = tmp_path / "store" / "manifest.jsonl"
+    lines = manifest.read_bytes().splitlines(keepends=True)
+    assert len(lines) >= 3
+    lines[1] = b"garbage!!!\n"
+    manifest.write_bytes(b"".join(lines))
+    with pytest.raises(CampaignError, match="corrupt"):
+        CampaignStore.open(tmp_path / "store")
+
+
+def test_store_drops_chunk_recorded_but_not_intact(tmp_path):
+    """A manifest line whose chunk file is torn can only be the crash
+    tail; the loader drops it and the runner re-runs those trials."""
+    spec = KIND_CASES["construction"]["spec"]()
+    runner = CampaignRunner(spec, tmp_path / "store", chunk_trials=2)
+    runner.run()
+    runner.close()
+    store = CampaignStore.open(tmp_path / "store")
+    last = store.chunk_records[-1]
+    store.close()
+    (tmp_path / "store" / last["file"]).write_bytes(b"torn")
+    resumed = CampaignRunner(None, tmp_path / "store")
+    summary = resumed.run()
+    assert summary["executed"] == int(last["rows"])
+    assert summary["complete"]
+    resumed.close()
+
+
+def test_store_orphan_chunk_overwritten(tmp_path):
+    spec = KIND_CASES["construction"]["spec"]()
+    partial = CampaignRunner(spec, tmp_path / "store", chunk_trials=2, max_tasks=1)
+    partial.run()
+    partial.close()
+    store = CampaignStore.open(tmp_path / "store")
+    orphan_index = len(store.chunk_records) + 1
+    store.close()
+    # A crash after the chunk fsync but before the manifest line leaves
+    # exactly this: a chunk file no manifest record points at.
+    orphan = tmp_path / "store" / "chunks" / f"chunk-{orphan_index:06d}.npy"
+    orphan.write_bytes(b"orphaned partial write")
+    resumed = CampaignRunner(None, tmp_path / "store", chunk_trials=2)
+    summary = resumed.run()
+    assert summary["complete"]
+    resumed.close()
+    points = CampaignRunner(None, tmp_path / "store").sweep_points()
+    baseline = KIND_CASES["construction"]["baseline"](_executor("construction"))
+    assert points == baseline
+
+
+# -- bit-identity --------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", sorted(KIND_CASES))
+def test_campaign_matches_in_memory_exactly(tmp_path, kind):
+    case = KIND_CASES[kind]
+    runner = CampaignRunner(case["spec"](), tmp_path / "store", chunk_trials=2)
+    summary = runner.run()
+    points = runner.sweep_points()
+    runner.close()
+    assert summary["complete"]
+    assert points == case["baseline"](_executor(kind))
+
+
+@pytest.mark.parametrize("kind", sorted(KIND_CASES))
+def test_interrupted_resume_is_bit_identical(tmp_path, kind):
+    case = KIND_CASES[kind]
+    partial = CampaignRunner(
+        case["spec"](), tmp_path / "store", chunk_trials=1, max_tasks=1
+    )
+    first = partial.run()
+    partial.close()
+    assert not first["complete"]
+    assert 0 < first["executed"] < case["spec"]().total_trials
+
+    resumed = CampaignRunner(None, tmp_path / "store", chunk_trials=1)
+    second = resumed.run()
+    points = resumed.sweep_points()
+    resumed.close()
+    assert second["complete"]
+    assert second["skipped"] == first["executed"]
+    assert points == case["baseline"](_executor(kind))
+
+
+def test_rerun_skips_every_trial(tmp_path):
+    spec = KIND_CASES["construction"]["spec"]()
+    CampaignRunner(spec, tmp_path / "store").run()
+    rerun = CampaignRunner(spec, tmp_path / "store")
+    summary = rerun.run()
+    rerun.close()
+    assert summary["executed"] == 0
+    assert summary["skipped"] == summary["planned"] == spec.total_trials
+
+
+def test_kill9_mid_campaign_resume_bit_identical(tmp_path):
+    """A real SIGKILL mid-flight loses at most the chunk being written;
+    resuming completes the campaign with bit-identical reduced points."""
+    store_dir = tmp_path / "store"
+    script = textwrap.dedent(
+        """
+        import sys
+        from repro.campaign import CampaignRunner, CampaignSpec
+        spec = CampaignSpec.construction(
+            [6, 12], 60, models=("fb", "fp", "mfp"), width=20,
+            include_rounds=False,
+        )
+        CampaignRunner(spec, sys.argv[1], workers=1, chunk_trials=2).run()
+        """
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-c", script, str(store_dir)],
+        env={**os.environ, "PYTHONPATH": str(Path(__file__).parent.parent / "src")},
+    )
+    manifest = store_dir / "manifest.jsonl"
+    deadline = time.time() + 60
+    try:
+        while time.time() < deadline:
+            if proc.poll() is not None:
+                break
+            if manifest.exists() and manifest.read_bytes().count(b'"chunk"') >= 2:
+                proc.send_signal(signal.SIGKILL)
+                break
+            time.sleep(0.005)
+        proc.wait(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    spec = CampaignSpec.construction(
+        [6, 12], 60, models=("fb", "fp", "mfp"), width=20, include_rounds=False
+    )
+    resumed = CampaignRunner(spec, store_dir, workers=1, chunk_trials=2)
+    summary = resumed.run()
+    points = resumed.sweep_points()
+    resumed.close()
+    assert summary["complete"]
+    if proc.returncode == -signal.SIGKILL:
+        # The interruption landed: the resume had stored work to skip.
+        assert summary["skipped"] > 0
+
+    executor = SweepExecutor(("fb", "fp", "mfp"), workers=1)
+    baseline = executor.run([6, 12], 60, width=20, include_rounds=False)
+    assert points == baseline
+
+
+# -- failure detection ---------------------------------------------------------------
+
+
+def test_dead_worker_task_is_rescheduled(tmp_path):
+    """A worker killed mid-task (os._exit) is detected and replaced."""
+    original = get_campaign_kind("construction")
+    flag = tmp_path / "crashed-once"
+
+    def crash_once(spec):
+        if not flag.exists():
+            flag.touch()
+            # Let the queue feeder flush the "start" event so the parent
+            # knows which task died with us (the task_timeout below
+            # backstops the race either way).
+            time.sleep(0.2)
+            os._exit(9)
+        return original.runner(spec)
+
+    register_campaign_kind(
+        dataclasses.replace(original, runner=crash_once), replace=True
+    )
+    try:
+        spec = KIND_CASES["construction"]["spec"]()
+        runner = CampaignRunner(
+            spec,
+            tmp_path / "store",
+            workers=2,
+            chunk_trials=1,
+            task_timeout=10.0,
+            transport_options={
+                "heartbeat_interval": 0.05,
+                "heartbeat_timeout": 2.0,
+            },
+        )
+        summary = runner.run()
+        points = runner.sweep_points()
+        runner.close()
+    finally:
+        register_campaign_kind(original, replace=True)
+    assert summary["complete"]
+    assert summary["rescheduled"] >= 1
+    assert points == KIND_CASES["construction"]["baseline"](
+        _executor("construction")
+    )
+
+
+def test_tcp_transport_bit_identical(tmp_path):
+    spec = KIND_CASES["construction"]["spec"]()
+    transport = TcpTransport(spec)
+    transport.start()
+    transport.start()  # idempotent: CLI pre-starts to print the port
+    host, port = transport.address
+    workers = [
+        threading.Thread(target=run_tcp_worker, args=(host, port), daemon=True)
+        for _ in range(2)
+    ]
+    for worker in workers:
+        worker.start()
+    runner = CampaignRunner(
+        spec, tmp_path / "store", transport=transport, chunk_trials=1
+    )
+    summary = runner.run()
+    points = runner.sweep_points()
+    runner.close()
+    for worker in workers:
+        worker.join(timeout=10)
+    assert summary["complete"]
+    assert points == KIND_CASES["construction"]["baseline"](
+        _executor("construction")
+    )
+
+
+# -- streaming reduction -------------------------------------------------------------
+
+
+def test_moments_match_numpy():
+    rng = np.random.default_rng(5)
+    values = rng.normal(3.0, 2.0, size=257)
+    moments = fold_moments(float(value) for value in values)
+    assert moments.count == len(values)
+    assert moments.mean == pytest.approx(float(np.mean(values)), abs=1e-12)
+    assert moments.variance == pytest.approx(
+        float(np.var(values, ddof=1)), abs=1e-10
+    )
+    assert moments.ci95 > 0
+
+
+def test_streaming_reducer_is_chunk_order_independent(tmp_path):
+    spec = KIND_CASES["construction"]["spec"]()
+    runner = CampaignRunner(spec, tmp_path / "store", chunk_trials=1)
+    runner.run()
+    store = runner._open_store()
+    chunks = list(store.iter_chunks())
+    runner.close()
+
+    forward = StreamingReducer(spec)
+    for chunk in chunks:
+        forward.feed(chunk)
+    backward = StreamingReducer(spec)
+    for chunk in reversed(chunks):
+        backward.feed(chunk)
+    assert forward.complete and backward.complete
+    fwd, bwd = forward.points(), backward.points()
+    assert [p.as_dict() for p in fwd] == [p.as_dict() for p in bwd]
+
+
+def test_duplicate_rows_are_deduped(tmp_path):
+    spec = KIND_CASES["construction"]["spec"]()
+    runner = CampaignRunner(spec, tmp_path / "store", chunk_trials=2)
+    runner.run()
+    store = runner._open_store()
+    chunks = list(store.iter_chunks())
+    # A late duplicate of a timed-out task appends the same rows twice.
+    store.append_rows(chunks[0])
+    points = runner.sweep_points()
+    reduced = runner.reduce()
+    runner.close()
+    assert points == KIND_CASES["construction"]["baseline"](
+        _executor("construction")
+    )
+    assert all(
+        moments.count == spec.trials
+        for point in reduced
+        for moments in point.stats.values()
+    )
+
+
+def test_campaign_points_carry_cis(tmp_path):
+    spec = KIND_CASES["construction"]["spec"]()
+    runner = CampaignRunner(spec, tmp_path / "store")
+    runner.run()
+    reduced = runner.reduce()
+    runner.close()
+    assert len(reduced) == len(spec.axis)
+    point = reduced[-1]
+    assert point.n == spec.trials
+    column = "MFP.num_regions"
+    assert column in point.stats
+    assert point.mean(column) == point.stats[column].mean
+    assert point.ci95(column) >= 0.0
+    payload = point.as_dict()
+    assert payload["x"] == spec.axis[-1]
+
+
+def test_sweep_point_ci95_matches_campaign(tmp_path):
+    """The in-memory SweepPoint.ci95 shares the fold with the campaign
+    reducers: same trials, same mean, same half-width."""
+    spec = KIND_CASES["construction"]["spec"]()
+    runner = CampaignRunner(spec, tmp_path / "store")
+    runner.run()
+    reduced = runner.reduce()
+    points = runner.sweep_points()
+    runner.close()
+    mean, half = points[-1].ci95("MFP", "mean_region_size")
+    moments = reduced[-1].stats["MFP.mean_region_size"]
+    assert mean == pytest.approx(moments.mean, abs=1e-12)
+    assert half == pytest.approx(moments.ci95, abs=1e-12)
+
+
+# -- integration surfaces ------------------------------------------------------------
+
+
+def test_executor_campaign_kwarg(tmp_path):
+    executor = _executor("construction")
+    direct = KIND_CASES["construction"]["baseline"](executor)
+    streamed = executor.run(
+        [4, 8], 3, width=16, include_rounds=False,
+        campaign=tmp_path / "store",
+    )
+    assert streamed == direct
+    assert (tmp_path / "store" / "manifest.jsonl").exists()
+
+
+def test_campaign_status_and_format(tmp_path):
+    spec = KIND_CASES["construction"]["spec"]()
+    partial = CampaignRunner(spec, tmp_path / "store", chunk_trials=1, max_tasks=2)
+    partial.run()
+    partial.close()
+    status = campaign_status(tmp_path / "store")
+    assert status["planned"] == spec.total_trials
+    assert status["completed"] == 2
+    assert not status["complete"]
+    assert sum(status["per_point"]) == 2
+    text = format_status(status)
+    assert "2/6 trials" in text
+    assert "point   0" in text
+
+
+def test_cli_campaign_verbs(tmp_path, capsys):
+    from repro.cli import main
+
+    store = str(tmp_path / "store")
+    rc = main(
+        [
+            "campaign", "run", store,
+            "--kind", "construction",
+            "--fault-counts", "4", "8",
+            "--trials", "2",
+            "--width", "16",
+            "--skip-rounds",
+            "--chunk-trials", "2",
+            "--quiet",
+        ]
+    )
+    assert rc == 0
+    assert "[complete]" in capsys.readouterr().out
+
+    assert main(["campaign", "status", store]) == 0
+    assert "4/4 trials" in capsys.readouterr().out
+
+    assert main(["campaign", "reduce", store, "--metric", "num_regions"]) == 0
+    assert "MFP.num_regions" in capsys.readouterr().out
+
+    assert main(["campaign", "resume", store, "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["skipped"] == 4 and summary["executed"] == 0

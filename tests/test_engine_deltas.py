@@ -23,7 +23,9 @@ from repro.api import (
 )
 from repro.core.components import find_components
 from repro.faults.scenario import FaultScenario, generate_scenario
-from repro.routing.engine import JumpTables, transplant_engine_state
+from repro.mesh.topology import Mesh2D
+from repro.routing.engine import JumpTables, PackedRings, transplant_engine_state
+from repro.routing.extended_ecube import ExtendedECubeRouter
 
 STATS_FIELDS = (
     "attempted",
@@ -306,3 +308,68 @@ class TestLinkFaultWiring:
         manual.add_link_faults(scenario.link_faults)
         assert session.fault_set() == manual.fault_set()
         assert "link faults" in scenario.describe()
+
+
+class TestPackedRingsAppend:
+    """The incremental append path must be bit-identical to a rebuild."""
+
+    ARRAYS = (
+        "ring_x",
+        "ring_y",
+        "valid",
+        "off_mesh",
+        "geo_bits",
+        "entry_keys",
+        "entry_positions",
+    )
+
+    @staticmethod
+    def _router(width=16, count=10, seed=7):
+        rng = np.random.default_rng(seed)
+        regions, used = [], set()
+        while len(regions) < count:
+            x = int(rng.integers(1, width - 2))
+            y = int(rng.integers(1, width - 1))
+            cells = {(x, y), (x + 1, y)}
+            if cells & used:
+                continue
+            used |= cells
+            regions.append(sorted(cells))
+        return ExtendedECubeRouter(Mesh2D(width, width), regions)
+
+    def _encounter(self, router, batches, force_rebuild=False):
+        rings = PackedRings(router)
+        for batch in batches:
+            if force_rebuild:
+                rings._dirty = True
+            rings.ensure(router, np.asarray(batch))
+        return rings
+
+    def _assert_identical(self, left, right):
+        for name in self.ARRAYS:
+            assert np.array_equal(getattr(left, name), getattr(right, name)), name
+
+    def test_progressive_append_matches_full_rebuild(self):
+        router = self._router()
+        batches = [[index] for index in range(10)]
+        appended = self._encounter(router, batches)
+        rebuilt = self._encounter(router, batches, force_rebuild=True)
+        self._assert_identical(appended, rebuilt)
+
+    def test_multi_region_batches_match(self):
+        router = self._router()
+        batches = [[0, 3], [1], [2, 4, 5], [6], [7, 8, 9], [3, 0]]
+        appended = self._encounter(router, batches)
+        rebuilt = self._encounter(router, batches, force_rebuild=True)
+        self._assert_identical(appended, rebuilt)
+
+    def test_append_after_fault_delta_rebuild(self):
+        router = self._router()
+        rings = self._encounter(router, [[index] for index in range(6)])
+        rings._dirty = True  # what apply_fault_delta leaves behind
+        rings.ensure(router, np.asarray([6]))
+        rings.ensure(router, np.asarray([7]))  # back on the append path
+        oracle = self._encounter(
+            router, [[index] for index in range(8)], force_rebuild=True
+        )
+        self._assert_identical(rings, oracle)

@@ -202,6 +202,83 @@ class TestJournal:
         assert session.fingerprint() == oracle.fingerprint()
 
 
+class TestJournalRotation:
+    def test_compact_caps_file_size(self, tmp_path):
+        path = tmp_path / "j.ndjson"
+        journal = Journal(path, max_bytes=2000)
+        journal.append_snapshot({"version": 0})
+        state = {"version": 0}
+        for i in range(200):
+            state = {"version": i + 1}
+            journal.append_event("add_faults", {"added": [[1, 1]], "version": i + 1})
+            if journal.should_compact():
+                journal.compact(state)
+        assert journal.rotations >= 1
+        assert journal.size_bytes() <= 2000 + 200  # one snapshot past the cap
+        final_seq = journal.seq
+        journal.close()
+        loaded = load_journal(path)
+        # The file holds the last compaction snapshot plus the tail of
+        # events appended after it; together they reach the final state.
+        assert loaded.state["version"] + len(loaded.events) == 200
+        assert loaded.events[-1]["payload"]["version"] == 200
+        assert loaded.seq == final_seq  # seq survives the swap monotonically
+
+    def test_compact_preserves_idempotency_cache(self, tmp_path):
+        path = tmp_path / "j.ndjson"
+        journal = Journal(path)
+        journal.append_snapshot({"version": 0})
+        journal.append_event("add_faults", {"added": [[3, 3]], "version": 1}, "idem-a")
+        journal.compact({"version": 1}, {"idem-a": {"added": [[3, 3]], "version": 1}})
+        journal.close()
+        loaded = load_journal(path)
+        assert loaded.events == []
+        assert loaded.idem["idem-a"]["version"] == 1
+
+    def test_max_bytes_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            Journal(tmp_path / "j.ndjson", max_bytes=0)
+
+    def test_info_reports_rotation_counters(self, tmp_path):
+        journal = Journal(tmp_path / "j.ndjson", max_bytes=10_000)
+        journal.append_snapshot({"version": 0})
+        info = journal.info()
+        assert info["max_bytes"] == 10_000
+        assert info["rotations"] == 0
+        assert info["size_bytes"] > 0
+        journal.close()
+
+    def test_daemon_rotation_recovers_bit_identical(self, tmp_path):
+        path = tmp_path / "daemon.ndjson"
+
+        async def run():
+            daemon = fresh_daemon(
+                journal=path, snapshot_every=10_000, journal_max_bytes=1000
+            )
+            client = InProcessClient(daemon)
+            await client.request(
+                {"op": "add_faults", "nodes": [[2, 2]], "idem": "rotate-me"}
+            )
+            _, status = await churn(client, rounds=60)
+            return status["fingerprint"], daemon.journal.rotations
+
+        fingerprint, rotations = asyncio.run(run())
+        assert rotations >= 1  # the cap actually triggered mid-run
+        assert path.stat().st_size < 20_000
+        recovered = RouteDaemon.recover(path)
+        assert recovered.session.fingerprint() == fingerprint
+
+        async def replay():
+            client = InProcessClient(recovered)
+            response = await client.request(
+                {"op": "add_faults", "nodes": [[2, 2]], "idem": "rotate-me"}
+            )
+            assert response["idempotent_replay"] is True
+
+        asyncio.run(replay())
+        recovered.journal.close()
+
+
 # -- session state / fingerprint -----------------------------------------------------
 
 
